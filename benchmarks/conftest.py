@@ -1,0 +1,30 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+One :class:`ExperimentRunner` is shared across every benchmark module, so
+baseline runs are simulated once and reused by each table/figure — the
+whole evaluation regenerates in a single pytest invocation::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.study import ExperimentRunner
+
+#: The paper evaluates on 16 nodes.
+PAPER_NODES = 16
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def nodes():
+    return PAPER_NODES
+
+
+def emit(text: str) -> None:
+    """Print a reproduction artifact (run with -s to see it inline)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,36 @@
+"""Section 4.5.1: automatic-update combining.
+
+Paper findings: enabling combining changes the sparse-AU applications
+(Radix-VMMC, AURC SVM apps) by less than ~1% — they write sparsely, so
+little combines; but an application using AU for bulk transfers
+(DFS-sockets forced onto the AU transport) runs about 2x slower without
+combining."""
+
+from repro.study import combining_study, format_combining_study
+from conftest import emit
+
+
+def test_combining(benchmark, runner, nodes):
+    rows = benchmark.pedantic(
+        lambda: combining_study(runner, nodes), rounds=1, iterations=1
+    )
+    emit(format_combining_study(rows))
+    sparse = [r for r in rows if r["paper"] == "<1%"]
+    bulk = [r for r in rows if r["paper"] != "<1%"]
+
+    # Sparse AU traffic: combining is a small effect.  (Ocean-SVM writes
+    # whole rows contiguously in our port, so it sees more combining than
+    # the paper's <1%; see EXPERIMENTS.md.)
+    for row in sparse:
+        assert abs(row["effect_pct"]) < 15.0, row
+
+    # Bulk AU traffic without combining collapses (paper: ~2x slower; our
+    # DFS blocks are latency-diluted, so the app-level factor is smaller
+    # but still dominant).
+    assert len(bulk) == 1
+    assert bulk[0]["effect_pct"] > 25.0, bulk[0]
+
+    # The bulk effect dwarfs every sparse effect.
+    assert bulk[0]["effect_pct"] > 3 * max(
+        abs(r["effect_pct"]) for r in sparse
+    )

@@ -1,0 +1,33 @@
+"""Figure 3: speedup curves, 1 to 16 processors, for six applications
+(each in its better AU/DU variant, as the paper plots them)."""
+
+from repro.study import FIGURE3_APPS, figure3, format_figure3
+from conftest import emit
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_figure3(benchmark, runner):
+    curves = benchmark.pedantic(
+        lambda: figure3(runner, NODE_COUNTS), rounds=1, iterations=1
+    )
+    emit(format_figure3(curves))
+    assert set(curves) == set(FIGURE3_APPS)
+    for app, points in curves.items():
+        speedups = dict(points)
+        # Speedup is 1 at one node by definition.
+        assert abs(speedups[1] - 1.0) < 1e-9, app
+        # Every app gains from parallelism somewhere (Radix-SVM scales
+        # worst, in the paper as here: extreme page false sharing).
+        floor = 1.05 if app == "Radix-SVM" else 1.3
+        assert max(speedups.values()) > floor, app
+        # And nothing exceeds linear speedup.
+        for n, s in points:
+            assert s <= n * 1.05, (app, n, s)
+    # The compute-heavy N-body codes scale best (top curves in the paper
+    # are Ocean-NX / Radix-VMMC / Barnes-NX; SVM curves are lower).
+    svm_best = max(max(s for _n, s in curves[a]) for a in
+                   ("Barnes-SVM", "Ocean-SVM", "Radix-SVM"))
+    non_svm_best = max(max(s for _n, s in curves[a]) for a in
+                       ("Barnes-NX", "Radix-VMMC", "Ocean-NX"))
+    assert non_svm_best > svm_best

@@ -1,0 +1,32 @@
+"""Figure 4 (right): deliberate vs automatic update for the non-SVM apps.
+
+Paper findings: automatic update improves Radix-VMMC substantially (3.4x
+in the paper — fine-grained direct placement beats gather/send/scatter);
+for the message-passing apps (Ocean-NX, Barnes-NX) bulk sends favor
+deliberate update's DMA, so AU does not help them."""
+
+from repro.study import figure4_du_au, format_figure4_du_au
+from conftest import emit
+
+
+def test_figure4_du_au(benchmark, runner, nodes):
+    rows = benchmark.pedantic(
+        lambda: figure4_du_au(runner, nodes), rounds=1, iterations=1
+    )
+    emit(format_figure4_du_au(rows))
+    by_app = {r["app"]: r for r in rows}
+
+    # Radix-VMMC: AU wins clearly (direct placement, no gather/scatter).
+    assert by_app["Radix-VMMC"]["au_speedup_factor"] > 1.2
+
+    # Message-passing bulk transfers: AU is not the better mechanism —
+    # DU is at least competitive (AU no better than ~15% ahead).
+    for app in ("Ocean-NX", "Barnes-NX"):
+        assert by_app[app]["au_speedup_factor"] < 1.15, app
+
+    # And Radix's AU benefit dominates the message-passing apps'.
+    assert (
+        by_app["Radix-VMMC"]["au_speedup_factor"]
+        > max(by_app["Ocean-NX"]["au_speedup_factor"],
+              by_app["Barnes-NX"]["au_speedup_factor"])
+    )

@@ -1,0 +1,21 @@
+"""Table 1: application characteristics (API, problem size, sequential
+execution time)."""
+
+from repro.study import format_table1, table1
+from conftest import emit
+
+
+def test_table1(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: table1(runner), rounds=1, iterations=1
+    )
+    emit(format_table1(rows))
+    assert len(rows) == 8
+    apis = {r["app"]: r["api"] for r in rows}
+    # The four API categories of section 3.
+    assert apis["Radix-VMMC"] == "VMMC"
+    assert apis["Barnes-NX"] == "NX"
+    assert apis["DFS-sockets"] == "Sockets"
+    assert apis["Ocean-SVM"] == "SVM"
+    for row in rows:
+        assert row["seq_time_ms"] > 0

@@ -1,0 +1,22 @@
+"""Table 2: execution-time increase when every message send requires a
+system call (the user-level DMA what-if, section 4.3).
+
+Paper band: 2% to 52%, every application measurably slower; Barnes-NX
+(fine-grained octree messages) worst."""
+
+from repro.study import format_table2, table2
+from conftest import emit
+
+
+def test_table2(benchmark, runner, nodes):
+    rows = benchmark.pedantic(
+        lambda: table2(runner, nodes), rounds=1, iterations=1
+    )
+    emit(format_table2(rows))
+    assert len(rows) == 7
+    for row in rows:
+        # Every app pays something; nothing explodes past ~2x.
+        assert 0.0 < row["increase_pct"] < 100.0, row
+    # The user-level DMA conclusion: the cost is significant for
+    # communication-heavy applications (double digits somewhere).
+    assert max(r["increase_pct"] for r in rows) > 10.0

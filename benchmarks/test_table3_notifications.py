@@ -1,0 +1,34 @@
+"""Table 3: notifications as a fraction of total messages (section 4.4).
+
+Paper shape: the SVM applications rely on the notification mechanism
+(8-42% of messages notify); the sockets and native-VMMC applications poll
+and take exactly zero notifications."""
+
+from repro.study import format_table3, table3
+from conftest import emit
+
+
+def test_table3(benchmark, runner, nodes):
+    rows = benchmark.pedantic(
+        lambda: table3(runner, nodes), rounds=1, iterations=1
+    )
+    emit(format_table3(rows))
+    by_app = {r["app"]: r for r in rows}
+
+    # Polling APIs: zero notifications, exactly as in the paper.
+    for app in ("Radix-VMMC", "DFS-sockets", "Render-sockets"):
+        assert by_app[app]["notifications"] == 0, app
+
+    # SVM relies on notifications: a significant fraction of messages.
+    for app in ("Barnes-SVM", "Ocean-SVM", "Radix-SVM"):
+        assert by_app[app]["notifications"] > 0, app
+        assert by_app[app]["pct"] > 5.0, app
+
+    # NX uses only a sliver (barrier/control paths), far less than SVM.
+    for app in ("Barnes-NX", "Ocean-NX"):
+        assert by_app[app]["pct"] < min(
+            by_app[svm]["pct"] for svm in ("Barnes-SVM", "Radix-SVM")
+        ), app
+
+    # Everyone exchanged real traffic.
+    assert all(r["messages"] > 0 for r in rows)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The DFS cooperative-cache cluster file system, interactively.
+
+Builds the sockets-based distributed file system from the paper's workload
+(section 3): servers on every node, client threads on half of them, file
+blocks striped round-robin across the cluster, local caches deliberately
+smaller than the working set so reads become node-to-node block transfers.
+Prints per-client cache behavior and the cluster-wide traffic summary.
+
+Run::
+
+    python examples/cluster_filesystem.py
+"""
+
+from repro import Machine, VMMCRuntime
+from repro.apps import DFSSockets
+from repro.apps.base import RunContext
+
+
+def main() -> None:
+    nodes = 8
+    app = DFSSockets(
+        n_files=6, blocks_per_file=32, block_size=2048,
+        reads_per_client=64, cache_blocks=10,
+    )
+    machine = Machine(num_nodes=nodes)
+    vmmc = VMMCRuntime(machine)
+    ctx = RunContext(machine, vmmc, nodes)
+    workers = app.workers(ctx)
+    procs = [machine.sim.spawn(g, f"dfs{i}") for i, g in enumerate(workers)]
+    machine.sim.run()
+    assert all(p.done for p in procs)
+    app.validate()
+
+    clients = max(1, nodes // 2)
+    stats = machine.stats
+    blocks = int(stats.counter_value("sockets.block_sends"))
+    print(f"DFS on {nodes} nodes ({clients} clients, {nodes} servers)")
+    print(f"  files               : {app.n_files} x {app.blocks_per_file} "
+          f"blocks x {app.block_size} B")
+    print(f"  reads issued        : {clients * app.reads_per_client} "
+          f"(all verified against expected block contents)")
+    print(f"  remote block serves : {blocks}")
+    print(f"  cache hit rate      : "
+          f"{1 - blocks / (clients * app.reads_per_client):.0%} "
+          f"(small caches -> mostly misses, as the workload intends)")
+    print(f"  wire traffic        : {int(stats.counter_value('net.bytes'))} "
+          f"bytes in {int(stats.counter_value('net.packets'))} packets")
+    print(f"  wall time (virtual) : {machine.now / 1000:.2f} ms")
+    print(f"  notifications       : "
+          f"{int(stats.counter_value('vmmc.notifications'))} "
+          f"(sockets applications poll; the paper's Table 3 row is 0)")
+
+
+if __name__ == "__main__":
+    main()

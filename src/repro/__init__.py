@@ -1,0 +1,42 @@
+"""repro: a behavioral reproduction of the SHRIMP multicomputer.
+
+Reproduces "Design Choices in the SHRIMP System: An Empirical Study"
+(Blumrich et al., ISCA 1998): the VMMC communication model, the SHRIMP
+network interface with automatic and deliberate update, a Paragon-style
+mesh backplane, the NX / stream-sockets / shared-virtual-memory software
+stacks, the paper's application suite, and the what-if experiment harness
+that regenerates every table and figure.
+
+Quick start::
+
+    from repro import Machine, VMMCRuntime
+
+    machine = Machine(num_nodes=2)
+    vmmc = VMMCRuntime(machine)
+    ...
+
+See ``examples/quickstart.py`` for a complete program.
+"""
+
+from .hardware import DEFAULT_PARAMS, MachineParams
+from .nic import DEFAULT_NIC_CONFIG, NICConfig
+from .node import Machine, Node, NodeProcess
+from .sim import Simulator, Timeout
+from .vmmc import VMMCEndpoint, VMMCRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Node",
+    "NodeProcess",
+    "MachineParams",
+    "DEFAULT_PARAMS",
+    "NICConfig",
+    "DEFAULT_NIC_CONFIG",
+    "VMMCRuntime",
+    "VMMCEndpoint",
+    "Simulator",
+    "Timeout",
+    "__version__",
+]

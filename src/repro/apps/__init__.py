@@ -1,0 +1,43 @@
+"""The paper's application suite (Table 1)."""
+
+from typing import Dict, Type
+
+from .base import Application, AppResult, RunContext, run_app
+from .barnes_nx import BarnesNX
+from .barnes_svm import BarnesSVM
+from .dfs import DFSSockets
+from .ocean_nx import OceanNX
+from .ocean_svm import OceanSVM
+from .radix_svm import RadixSVM
+from .radix_vmmc import RadixVMMC
+from .render import RenderSockets
+from .vmmc_util import VMMCGroup
+
+__all__ = [
+    "Application",
+    "AppResult",
+    "RunContext",
+    "run_app",
+    "BarnesSVM",
+    "OceanSVM",
+    "RadixSVM",
+    "RadixVMMC",
+    "BarnesNX",
+    "OceanNX",
+    "DFSSockets",
+    "RenderSockets",
+    "VMMCGroup",
+    "APPLICATIONS",
+]
+
+#: Display name -> class, as listed in Table 1.
+APPLICATIONS: Dict[str, Type[Application]] = {
+    "Barnes-SVM": BarnesSVM,
+    "Ocean-SVM": OceanSVM,
+    "Radix-SVM": RadixSVM,
+    "Radix-VMMC": RadixVMMC,
+    "Barnes-NX": BarnesNX,
+    "Ocean-NX": OceanNX,
+    "DFS-sockets": DFSSockets,
+    "Render-sockets": RenderSockets,
+}

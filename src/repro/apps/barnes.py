@@ -1,0 +1,234 @@
+"""Barnes-Hut: the hierarchical N-body core shared by both Barnes apps.
+
+The SPLASH-2 Barnes application simulates gravitational interaction among a
+system of particles.  The computational domain is an octree of space
+cells; leaves hold particles.  Each time step rebuilds the octree from the
+current body positions and computes forces by partially traversing the
+tree with the standard opening criterion (cell size / distance < theta).
+
+The implementation is fully deterministic — identical traversal and
+accumulation order everywhere — so the parallel versions must match the
+sequential reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Body",
+    "OctreeNode",
+    "make_bodies",
+    "build_octree",
+    "compute_force",
+    "advance",
+    "sequential_steps",
+    "CYCLES_PER_INTERACTION",
+    "CYCLES_PER_BODY_BUILD",
+]
+
+#: CPU cycles per body-cell interaction (distance, test, accumulate).
+CYCLES_PER_INTERACTION = 60.0
+#: CPU cycles per body per tree level during the rebuild.
+CYCLES_PER_BODY_BUILD = 40.0
+
+_EPS2 = 1e-4  # gravitational softening
+_G = 1.0
+_MAX_DEPTH = 24
+
+
+@dataclass
+class Body:
+    x: float
+    y: float
+    z: float
+    mass: float
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+
+    def position(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+
+@dataclass
+class OctreeNode:
+    """A cubic space cell: either a leaf holding one body or 8 children."""
+
+    cx: float
+    cy: float
+    cz: float
+    half: float
+    body: Optional[Body] = None
+    children: Optional[List[Optional["OctreeNode"]]] = None
+    mass: float = 0.0
+    mx: float = 0.0  # mass-weighted position sums until finalized
+    my: float = 0.0
+    mz: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def octant(self, body: Body) -> int:
+        return (
+            (1 if body.x >= self.cx else 0)
+            | (2 if body.y >= self.cy else 0)
+            | (4 if body.z >= self.cz else 0)
+        )
+
+    def child_cell(self, octant: int) -> "OctreeNode":
+        quarter = self.half / 2.0
+        cx = self.cx + (quarter if octant & 1 else -quarter)
+        cy = self.cy + (quarter if octant & 2 else -quarter)
+        cz = self.cz + (quarter if octant & 4 else -quarter)
+        return OctreeNode(cx, cy, cz, quarter)
+
+
+def make_bodies(count: int, rng) -> List[Body]:
+    """A deterministic Plummer-like cluster of ``count`` bodies."""
+    bodies = []
+    for _ in range(count):
+        radius = 1.0 / math.sqrt(rng.uniform(0.05, 1.0) ** (-2.0 / 3.0) - 0.5)
+        theta = math.acos(rng.uniform(-1.0, 1.0))
+        phi = rng.uniform(0.0, 2.0 * math.pi)
+        bodies.append(
+            Body(
+                x=radius * math.sin(theta) * math.cos(phi),
+                y=radius * math.sin(theta) * math.sin(phi),
+                z=radius * math.cos(theta),
+                mass=1.0 / count,
+                vx=rng.uniform(-0.05, 0.05),
+                vy=rng.uniform(-0.05, 0.05),
+                vz=rng.uniform(-0.05, 0.05),
+            )
+        )
+    return bodies
+
+
+def _insert(node: OctreeNode, body: Body, depth: int = 0) -> int:
+    """Insert a body; returns the number of levels descended."""
+    if depth > _MAX_DEPTH:
+        # Coincident bodies: merge into the resident leaf.
+        resident = node.body
+        if resident is not None:
+            resident.mass += body.mass
+            return 1
+    if node.is_leaf and node.body is None:
+        node.body = body
+        return 1
+    if node.is_leaf:
+        resident = node.body
+        node.body = None
+        node.children = [None] * 8
+        levels = _insert_into_child(node, resident, depth)
+        return levels + _insert_into_child(node, body, depth)
+    return _insert_into_child(node, body, depth)
+
+
+def _insert_into_child(node: OctreeNode, body: Body, depth: int) -> int:
+    octant = node.octant(body)
+    child = node.children[octant]
+    if child is None:
+        child = node.child_cell(octant)
+        node.children[octant] = child
+    return 1 + _insert(child, body, depth + 1)
+
+
+def _summarize(node: OctreeNode) -> None:
+    """Compute each cell's total mass and center of mass, bottom-up."""
+    if node.is_leaf:
+        body = node.body
+        if body is not None:
+            node.mass = body.mass
+            node.mx = body.x
+            node.my = body.y
+            node.mz = body.z
+        return
+    mass = wx = wy = wz = 0.0
+    for child in node.children:
+        if child is None:
+            continue
+        _summarize(child)
+        mass += child.mass
+        wx += child.mx * child.mass
+        wy += child.my * child.mass
+        wz += child.mz * child.mass
+    node.mass = mass
+    if mass > 0:
+        node.mx = wx / mass
+        node.my = wy / mass
+        node.mz = wz / mass
+
+
+def build_octree(bodies: List[Body]) -> Tuple[OctreeNode, int]:
+    """Build the octree; returns (root, total insertion levels)."""
+    if not bodies:
+        raise ValueError("no bodies")
+    span = max(
+        max(abs(b.x), abs(b.y), abs(b.z)) for b in bodies
+    )
+    root = OctreeNode(0.0, 0.0, 0.0, max(span * 1.01, 1.0))
+    levels = 0
+    for body in bodies:
+        levels += _insert(root, body, 0)
+    _summarize(root)
+    return root, levels
+
+
+def compute_force(
+    root: OctreeNode, body: Body, theta: float
+) -> Tuple[float, float, float, int]:
+    """Barnes-Hut force on ``body``; returns (fx, fy, fz, interactions)."""
+    fx = fy = fz = 0.0
+    interactions = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.mass == 0.0:
+            continue
+        dx = node.mx - body.x
+        dy = node.my - body.y
+        dz = node.mz - body.z
+        dist2 = dx * dx + dy * dy + dz * dz
+        if node.is_leaf or (2.0 * node.half) ** 2 < theta * theta * dist2:
+            if node.is_leaf and node.body is body:
+                continue
+            interactions += 1
+            inv = 1.0 / math.sqrt((dist2 + _EPS2) ** 3)
+            strength = _G * node.mass * inv
+            fx += strength * dx
+            fy += strength * dy
+            fz += strength * dz
+        else:
+            # Push in reverse octant order so traversal order (and thus
+            # floating-point accumulation) is deterministic.
+            for child in reversed(node.children):
+                if child is not None:
+                    stack.append(child)
+    return fx, fy, fz, interactions
+
+
+def advance(body: Body, fx: float, fy: float, fz: float, dt: float) -> None:
+    """Leapfrog-ish integration of one body in place."""
+    body.vx += fx * dt
+    body.vy += fy * dt
+    body.vz += fz * dt
+    body.x += body.vx * dt
+    body.y += body.vy * dt
+    body.z += body.vz * dt
+
+
+def sequential_steps(
+    bodies: List[Body], steps: int, theta: float, dt: float
+) -> List[Body]:
+    """Reference simulation (used for validation)."""
+    sim = [Body(b.x, b.y, b.z, b.mass, b.vx, b.vy, b.vz) for b in bodies]
+    for _ in range(steps):
+        root, _levels = build_octree(sim)
+        forces = [compute_force(root, b, theta)[:3] for b in sim]
+        for body, (fx, fy, fz) in zip(sim, forces):
+            advance(body, fx, fy, fz, dt)
+    return sim

@@ -1,0 +1,212 @@
+"""DFS-sockets: a distributed cluster file system on stream sockets.
+
+Reproduces the paper's DFS workload (section 3): the file system stripes
+file blocks across the disks of all nodes and caches cooperatively in
+their memory; client threads on half of the nodes read large files.  The
+working set of one client exceeds a single node's cache but the collective
+working set fits in the cluster, so the experiment is all node-to-node
+block transfers with **no disk I/O** — every miss is served from a peer
+server's memory over a socket using the block-transfer extension.
+
+Block contents are a deterministic function of (file, block), so every
+transfer is verified end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Generator, List
+
+from ..msg import Connection, SocketAPI
+from .base import Application, RunContext
+
+__all__ = ["DFSSockets", "block_content"]
+
+_REQ = struct.Struct("<iii")  # file_id, block_no, -1 terminator flag
+_PORT_BASE = 9000
+
+#: CPU cycles to look a block up in the server's cache.
+CYCLES_PER_LOOKUP = 300.0
+#: Client-side per-block processing of returned data (checksum the read).
+CYCLES_PER_BLOCK_PROCESS = 500.0
+
+
+def block_content(file_id: int, block_no: int, block_size: int) -> bytes:
+    """Deterministic block contents (repeatable across nodes)."""
+    seed = hashlib.sha256(f"{file_id}:{block_no}".encode()).digest()
+    reps = -(-block_size // len(seed))
+    return (seed * reps)[:block_size]
+
+
+def block_home(file_id: int, block_no: int, nprocs: int) -> int:
+    """Round-robin striping of blocks across server nodes."""
+    return (file_id + block_no) % nprocs
+
+
+class _LRUCache:
+    """The client's local block cache (deliberately smaller than the
+    working set, per the paper's workload design)."""
+
+    def __init__(self, capacity_blocks: int):
+        self.capacity = capacity_blocks
+        self._entries: Dict[tuple, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> bytes:
+        if key in self._entries:
+            self.hits += 1
+            value = self._entries.pop(key)
+            self._entries[key] = value  # move to MRU position
+            return value
+        self.misses += 1
+        return b""
+
+    def put(self, key: tuple, value: bytes) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            self._entries.pop(oldest)
+        self._entries[key] = value
+
+
+class DFSSockets(Application):
+    name = "DFS-sockets"
+    api = "Sockets"
+
+    def __init__(
+        self,
+        mode: str = "du",
+        n_files: int = 4,
+        blocks_per_file: int = 24,
+        block_size: int = 4096,
+        reads_per_client: int = 48,
+        cache_blocks: int = 8,
+    ):
+        super().__init__(mode)
+        self.n_files = n_files
+        self.blocks_per_file = blocks_per_file
+        self.block_size = block_size
+        self.reads_per_client = reads_per_client
+        self.cache_blocks = cache_blocks
+        self._verified_reads = 0
+        self._expected_reads = 0
+
+    def workers(self, ctx: RunContext) -> List[Generator]:
+        sockets = SocketAPI(ctx.vmmc, transport=self.mode)
+        clients = max(1, ctx.nprocs // 2)
+        self._verified_reads = 0
+        self._expected_reads = clients * self.reads_per_client
+        return [
+            self._node_worker(ctx, sockets, i, i < clients)
+            for i in range(ctx.nprocs)
+        ]
+
+    # -- per-node orchestration ------------------------------------------
+
+    def _node_worker(
+        self, ctx: RunContext, sockets: SocketAPI, index: int, is_client: bool
+    ) -> Generator:
+        clients = max(1, ctx.nprocs // 2)
+        server_proc = ctx.machine.create_process(index)
+        server_ep = ctx.vmmc.endpoint(server_proc)
+        server = ctx.sim.spawn(
+            self._server(ctx, sockets, server_ep, index, clients),
+            f"dfs.server{index}",
+        )
+        client = None
+        go = ctx.sim.event(f"dfs.go{index}")
+        if is_client:
+            client_proc = ctx.machine.create_process(index)
+            client_ep = ctx.vmmc.endpoint(client_proc)
+            client = ctx.sim.spawn(
+                self._client(ctx, sockets, client_ep, index, go),
+                f"dfs.client{index}",
+            )
+        # Connection establishment happens before the measured section.
+        yield from ctx.rendezvous("dfs.connected", ctx.nprocs + clients)
+        yield from ctx.rendezvous("dfs.setup")
+        ctx.mark_start()
+        go.succeed()
+        if client is not None and not client.done:
+            yield client
+        yield server
+        ctx.mark_end()
+
+    # -- the block server --------------------------------------------------
+
+    def _server(
+        self, ctx: RunContext, sockets: SocketAPI, endpoint, index: int, clients: int
+    ) -> Generator:
+        cpu = endpoint.node.cpu
+        listener = sockets.listen(endpoint, _PORT_BASE + index)
+        connections = []
+        for _ in range(clients):
+            conn = yield from listener.accept()
+            connections.append(conn)
+        # Serve each connection in its own service process.
+        services = [
+            ctx.sim.spawn(self._serve_conn(cpu, conn), f"dfs.serve{index}")
+            for conn in connections
+        ]
+        for service in services:
+            yield service
+
+    def _serve_conn(self, cpu, conn: Connection) -> Generator:
+        while True:
+            raw = yield from conn.recv(12, exact=True)
+            if not raw:
+                return
+            file_id, block_no, fin = _REQ.unpack(raw)
+            if fin:
+                yield from conn.close()
+                return
+            yield from cpu.compute(CYCLES_PER_LOOKUP, "computation")
+            data = block_content(file_id, block_no, self.block_size)
+            yield from conn.send_block(data)
+
+    # -- the client -----------------------------------------------------------
+
+    def _client(
+        self, ctx: RunContext, sockets: SocketAPI, endpoint, index: int, go
+    ) -> Generator:
+        cpu = endpoint.node.cpu
+        nprocs = ctx.nprocs
+        clients = max(1, nprocs // 2)
+        rng = ctx.rng.split("dfs", index)
+        connections: Dict[int, Connection] = {}
+        for server in range(nprocs):
+            connections[server] = yield from sockets.connect(
+                endpoint, _PORT_BASE + server
+            )
+        yield from ctx.rendezvous("dfs.connected", nprocs + clients)
+        yield go  # measurement gate
+        cache = _LRUCache(self.cache_blocks)
+
+        for _ in range(self.reads_per_client):
+            file_id = rng.randrange(self.n_files)
+            block_no = rng.randrange(self.blocks_per_file)
+            key = (file_id, block_no)
+            data = cache.get(key)
+            if not data:
+                server = block_home(file_id, block_no, nprocs)
+                conn = connections[server]
+                yield from conn.send(_REQ.pack(file_id, block_no, 0))
+                data = yield from conn.recv_exactly(self.block_size)
+                cache.put(key, data)
+            yield from cpu.compute(CYCLES_PER_BLOCK_PROCESS, "computation")
+            if data != block_content(file_id, block_no, self.block_size):
+                raise AssertionError("DFS returned corrupt block data")
+            self._verified_reads += 1
+
+        for conn in connections.values():
+            yield from conn.send(_REQ.pack(0, 0, 1))
+
+    def validate(self) -> None:
+        if self._verified_reads != self._expected_reads:
+            raise AssertionError(
+                f"DFS verified {self._verified_reads} of "
+                f"{self._expected_reads} reads"
+            )

@@ -1,0 +1,44 @@
+"""Integer radix sort: the algorithmic core shared by both Radix apps."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["passes_needed", "digit_of", "local_histogram", "radix_sort", "make_keys"]
+
+
+def passes_needed(max_key: int, radix: int) -> int:
+    """LSD passes required to sort keys in [0, max_key)."""
+    passes = 1
+    span = radix
+    while span < max_key:
+        span *= radix
+        passes += 1
+    return passes
+
+
+def digit_of(key: int, radix: int, pass_no: int) -> int:
+    return (key // radix**pass_no) % radix
+
+
+def local_histogram(keys: Sequence[int], radix: int, pass_no: int) -> List[int]:
+    counts = [0] * radix
+    for key in keys:
+        counts[digit_of(key, radix, pass_no)] += 1
+    return counts
+
+
+def radix_sort(keys: Sequence[int], radix: int, max_key: int) -> List[int]:
+    """Reference LSD radix sort (used for validation)."""
+    out = list(keys)
+    for pass_no in range(passes_needed(max_key, radix)):
+        buckets: List[List[int]] = [[] for _ in range(radix)]
+        for key in out:
+            buckets[digit_of(key, radix, pass_no)].append(key)
+        out = [key for bucket in buckets for key in bucket]
+    return out
+
+
+def make_keys(rng, count: int, max_key: int) -> List[int]:
+    """Deterministic uniform key workload."""
+    return [rng.randrange(max_key) for _ in range(count)]

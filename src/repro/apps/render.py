@@ -1,0 +1,228 @@
+"""Render-sockets: a parallel fault-tolerant volume renderer on sockets.
+
+Reproduces the paper's Render workload (section 3, reference [4]): a
+ray-casting volume renderer with a controller process implementing a
+centralized task queue and worker processes that pull tile tasks, render
+them against a volume data set **replicated to every worker at connection
+establishment**, and return pixel results for dynamic load balancing.
+
+The ray caster is real: orthographic rays step through a deterministic
+3-D density volume accumulating emission/absorption, so the assembled
+image is checked pixel-for-pixel against a sequential render.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List
+
+from ..sim import DeterministicRandom
+from ..msg import Connection, SocketAPI
+from .base import Application, RunContext
+
+__all__ = ["RenderSockets", "render_tile", "make_volume"]
+
+_PORT = 7100
+_TASK = struct.Struct("<i")      # tile id, or -1 for done
+_RESULT_HDR = struct.Struct("<ii")  # tile id, pixel count
+
+#: CPU cycles per ray sample (trilinear-ish fetch + accumulate).
+CYCLES_PER_SAMPLE = 25.0
+
+
+def make_volume(size: int, seed: int) -> List[float]:
+    """A deterministic density volume of size^3 voxels in [0, 1)."""
+    rng = DeterministicRandom(seed)
+    return [rng.random() for _ in range(size * size * size)]
+
+
+def _sample(volume: List[float], size: int, x: int, y: int, z: int) -> float:
+    return volume[(z * size + y) * size + x]
+
+
+def render_tile(
+    volume: List[float],
+    vol_size: int,
+    image_size: int,
+    tile_size: int,
+    tile_id: int,
+) -> List[float]:
+    """Ray-cast one tile_size x tile_size tile; returns its pixels.
+
+    Orthographic rays along +z with simple emission/absorption
+    compositing.  Fully deterministic.
+    """
+    tiles_per_row = image_size // tile_size
+    tx = (tile_id % tiles_per_row) * tile_size
+    ty = (tile_id // tiles_per_row) * tile_size
+    pixels: List[float] = []
+    for py in range(ty, ty + tile_size):
+        for px in range(tx, tx + tile_size):
+            vx = px * vol_size // image_size
+            vy = py * vol_size // image_size
+            intensity = 0.0
+            transparency = 1.0
+            for vz in range(vol_size):
+                density = _sample(volume, vol_size, vx, vy, vz)
+                intensity += transparency * density * 0.25
+                transparency *= 1.0 - density * 0.25
+                if transparency < 1e-3:
+                    break
+            pixels.append(intensity)
+    return pixels
+
+
+class RenderSockets(Application):
+    name = "Render-sockets"
+    api = "Sockets"
+
+    def __init__(
+        self,
+        mode: str = "du",
+        vol_size: int = 16,
+        image_size: int = 32,
+        tile_size: int = 8,
+        seed: int = 77,
+    ):
+        super().__init__(mode)
+        if image_size % tile_size:
+            raise ValueError("image must be a whole number of tiles")
+        self.vol_size = vol_size
+        self.image_size = image_size
+        self.tile_size = tile_size
+        self.seed = seed
+        self.n_tiles = (image_size // tile_size) ** 2
+        self._volume = make_volume(vol_size, seed)
+        self._image: List[float] = []
+
+    def workers(self, ctx: RunContext) -> List[Generator]:
+        sockets = SocketAPI(ctx.vmmc, transport=self.mode)
+        return [self._worker(ctx, sockets, i) for i in range(ctx.nprocs)]
+
+    def _worker(self, ctx: RunContext, sockets: SocketAPI, index: int) -> Generator:
+        if index == 0:
+            yield from self._controller(ctx, sockets)
+        else:
+            yield from self._render_worker(ctx, sockets, index)
+
+    # -- controller: centralized task queue ---------------------------------
+
+    def _controller(self, ctx: RunContext, sockets: SocketAPI) -> Generator:
+        endpoint = ctx.vmmc.endpoint(ctx.machine.create_process(0))
+        n_workers = ctx.nprocs - 1
+        image = [0.0] * (self.image_size * self.image_size)
+
+        if n_workers == 0:
+            # Uniprocessor fallback: render everything locally.
+            yield from ctx.rendezvous("render.setup")
+            ctx.mark_start()
+            cpu = endpoint.node.cpu
+            for tile_id in range(self.n_tiles):
+                pixels = render_tile(
+                    self._volume, self.vol_size, self.image_size,
+                    self.tile_size, tile_id,
+                )
+                yield from cpu.compute(
+                    CYCLES_PER_SAMPLE * self.tile_size**2 * self.vol_size
+                )
+                self._place_tile(image, tile_id, pixels)
+            ctx.mark_end()
+            self._image = image
+            return
+
+        listener = sockets.listen(endpoint, _PORT)
+        connections: List[Connection] = []
+        for _ in range(n_workers):
+            conn = yield from listener.accept()
+            connections.append(conn)
+        # Replicate the volume to every worker at connection establishment.
+        packed_volume = struct.pack(f"<{len(self._volume)}d", *self._volume)
+        for conn in connections:
+            yield from conn.send_block(packed_volume)
+        yield from ctx.rendezvous("render.setup")
+        ctx.mark_start()
+
+        # Dynamic load balancing: one service process per worker pulls from
+        # the shared task list.
+        next_task = [0]
+        done = []
+
+        def serve(conn: Connection) -> Generator:
+            while True:
+                ready = yield from conn.recv(4, exact=True)
+                if not ready:
+                    return
+                if next_task[0] >= self.n_tiles:
+                    yield from conn.send(_TASK.pack(-1))
+                    yield from conn.close()
+                    return
+                task = next_task[0]
+                next_task[0] += 1
+                yield from conn.send(_TASK.pack(task))
+                header = yield from conn.recv_exactly(_RESULT_HDR.size)
+                tile_id, count = _RESULT_HDR.unpack(header)
+                payload = yield from conn.recv_exactly(8 * count)
+                pixels = list(struct.unpack(f"<{count}d", payload))
+                self._place_tile(image, tile_id, pixels)
+                done.append(tile_id)
+
+        services = [
+            ctx.sim.spawn(serve(conn), "render.serve") for conn in connections
+        ]
+        for service in services:
+            yield service
+        ctx.mark_end()
+        if len(done) != self.n_tiles:
+            raise AssertionError(f"controller assembled {len(done)} tiles")
+        self._image = image
+
+    def _place_tile(self, image: List[float], tile_id: int, pixels: List[float]):
+        tiles_per_row = self.image_size // self.tile_size
+        tx = (tile_id % tiles_per_row) * self.tile_size
+        ty = (tile_id // tiles_per_row) * self.tile_size
+        i = 0
+        for py in range(ty, ty + self.tile_size):
+            for px in range(tx, tx + self.tile_size):
+                image[py * self.image_size + px] = pixels[i]
+                i += 1
+
+    # -- worker -------------------------------------------------------------
+
+    def _render_worker(
+        self, ctx: RunContext, sockets: SocketAPI, index: int
+    ) -> Generator:
+        endpoint = ctx.vmmc.endpoint(ctx.machine.create_process(index))
+        cpu = endpoint.node.cpu
+        conn = yield from sockets.connect(endpoint, _PORT)
+        packed = yield from conn.recv_exactly(8 * len(self._volume))
+        volume = list(struct.unpack(f"<{len(self._volume)}d", packed))
+        yield from ctx.rendezvous("render.setup")
+        ctx.mark_start()
+        while True:
+            yield from conn.send(b"REDY")
+            raw = yield from conn.recv(4, exact=True)
+            if not raw:
+                break
+            task = _TASK.unpack(raw)[0]
+            if task < 0:
+                break
+            pixels = render_tile(
+                volume, self.vol_size, self.image_size, self.tile_size, task
+            )
+            yield from cpu.compute(
+                CYCLES_PER_SAMPLE * self.tile_size**2 * self.vol_size
+            )
+            payload = struct.pack(f"<{len(pixels)}d", *pixels)
+            yield from conn.send(_RESULT_HDR.pack(task, len(pixels)) + payload)
+        ctx.mark_end()
+
+    def validate(self) -> None:
+        expected: List[float] = [0.0] * (self.image_size * self.image_size)
+        for tile_id in range(self.n_tiles):
+            pixels = render_tile(
+                self._volume, self.vol_size, self.image_size,
+                self.tile_size, tile_id,
+            )
+            self._place_tile(expected, tile_id, pixels)
+        if self._image != expected:
+            raise AssertionError("Render produced a wrong image")

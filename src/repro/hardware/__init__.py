@@ -1,0 +1,21 @@
+"""Simulated node hardware: parameters, memory, bus, CPU, MMU."""
+
+from .bus import MemoryBus
+from .cpu import CPU
+from .memory import OutOfMemoryError, PhysicalMemory
+from .mmu import AddressSpace, PageFault, PageMode, PageTableEntry, Protection
+from .params import DEFAULT_PARAMS, MachineParams
+
+__all__ = [
+    "MachineParams",
+    "DEFAULT_PARAMS",
+    "PhysicalMemory",
+    "OutOfMemoryError",
+    "MemoryBus",
+    "CPU",
+    "AddressSpace",
+    "PageFault",
+    "PageMode",
+    "PageTableEntry",
+    "Protection",
+]

@@ -1,0 +1,84 @@
+"""The Xpress memory bus model.
+
+The key architectural property (paper section 2.1, revisited in sections
+4.5.2 and 4.5.3) is that the bus does **not cycle-share** between the CPU
+and any other main-memory master: while the NIC's DMA engine holds the bus,
+the CPU stalls, and vice versa.  The bus is therefore a single-holder
+resource, and the "deliberate-update queueing barely helps" result
+(section 4.5.3) falls straight out of this model — queued transfers still
+serialize on the bus against the CPU that wanted to run ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator
+from .params import MachineParams
+
+__all__ = ["MemoryBus"]
+
+
+class MemoryBus:
+    """Single-master-at-a-time memory bus with bandwidth accounting."""
+
+    def __init__(self, sim: Simulator, params: MachineParams, name: str = "bus"):
+        self.sim = sim
+        self.params = params
+        self._resource = Resource(sim, capacity=1, name=name)
+        self.bytes_transferred = 0
+        self.transactions = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._resource.in_use > 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    def transfer_time(
+        self,
+        nbytes: int,
+        bandwidth: float = 0.0,
+        transactions: int = 1,
+        transaction_us: float = 0.0,
+    ) -> float:
+        """Bus occupancy for ``nbytes`` moved in ``transactions`` bursts.
+
+        ``bandwidth`` limits the transfer rate when the other end is slower
+        than the bus (e.g. EISA DMA); 0 means full memory-bus speed.
+        ``transaction_us`` overrides the per-burst setup cost (EISA bursts
+        cost more to arbitrate than native bus cycles).
+        """
+        rate = self.params.memory_bus_bandwidth
+        if bandwidth:
+            rate = min(rate, bandwidth)
+        per_transaction = transaction_us or self.params.bus_transaction_us
+        return transactions * per_transaction + nbytes / rate
+
+    def transfer(
+        self,
+        nbytes: int,
+        bandwidth: float = 0.0,
+        transactions: int = 1,
+        transaction_us: float = 0.0,
+    ) -> Generator:
+        """Hold the bus for the duration of a transfer of ``nbytes``.
+
+        Blocks while another master (CPU store stream or NIC DMA) holds it.
+        """
+        yield from self._resource.acquire()
+        try:
+            from ..sim import Timeout
+
+            yield Timeout(
+                self.transfer_time(nbytes, bandwidth, transactions, transaction_us)
+            )
+            self.bytes_transferred += nbytes
+            self.transactions += transactions
+        finally:
+            self._resource.release()
+
+    def utilization(self, elapsed: float) -> float:
+        return self._resource.utilization(elapsed)

@@ -1,0 +1,98 @@
+"""Physical memory: a flat byte array divided into page frames.
+
+Every node owns one ``PhysicalMemory``.  All real data handled by the
+communication stack — receive buffers, SVM pages, socket streams — lives in
+these byte arrays, so transfers move *actual bytes* end to end and the test
+suite can check data integrity, not just timing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["PhysicalMemory", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(MemoryError):
+    """No free page frames remain on the node."""
+
+
+class PhysicalMemory:
+    """Byte-addressable memory with a simple page-frame allocator."""
+
+    def __init__(self, size_bytes: int, page_size: int):
+        if size_bytes % page_size != 0:
+            raise ValueError("memory size must be a whole number of pages")
+        self.page_size = page_size
+        self.size = size_bytes
+        self.num_frames = size_bytes // page_size
+        self.data = bytearray(size_bytes)
+        self._free_frames: List[int] = list(range(self.num_frames - 1, -1, -1))
+        self._allocated = [False] * self.num_frames
+
+    # -- frame allocation -------------------------------------------------
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free_frames)
+
+    def alloc_frame(self) -> int:
+        """Allocate one page frame; returns the frame number."""
+        if not self._free_frames:
+            raise OutOfMemoryError(
+                f"out of physical memory ({self.num_frames} frames in use)"
+            )
+        frame = self._free_frames.pop()
+        self._allocated[frame] = True
+        return frame
+
+    def alloc_frames(self, count: int) -> List[int]:
+        if count > len(self._free_frames):
+            raise OutOfMemoryError(
+                f"requested {count} frames, only {len(self._free_frames)} free"
+            )
+        return [self.alloc_frame() for _ in range(count)]
+
+    def free_frame(self, frame: int) -> None:
+        if not self._allocated[frame]:
+            raise ValueError(f"double free of frame {frame}")
+        self._allocated[frame] = False
+        # Zero on free so stale data never leaks between owners.
+        base = frame * self.page_size
+        self.data[base : base + self.page_size] = bytes(self.page_size)
+        self._free_frames.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        return self._allocated[frame]
+
+    # -- byte access --------------------------------------------------------
+
+    def frame_base(self, frame: int) -> int:
+        if not 0 <= frame < self.num_frames:
+            raise ValueError(f"frame {frame} out of range")
+        return frame * self.page_size
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check_range(addr, length)
+        return bytes(self.data[addr : addr + length])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check_range(addr, len(payload))
+        self.data[addr : addr + len(payload)] = payload
+
+    def read_page(self, frame: int) -> bytes:
+        base = self.frame_base(frame)
+        return bytes(self.data[base : base + self.page_size])
+
+    def write_page(self, frame: int, payload: bytes) -> None:
+        if len(payload) != self.page_size:
+            raise ValueError("write_page payload must be exactly one page")
+        base = self.frame_base(frame)
+        self.data[base : base + self.page_size] = payload
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise ValueError(
+                f"physical access [{addr}, {addr + length}) outside memory "
+                f"of {self.size} bytes"
+            )

@@ -1,0 +1,32 @@
+"""Message-passing libraries on VMMC: ring channels, NX, sockets, RPC, BSP."""
+
+from .bsp import BSPProcess, BSPWorld
+from .channel import HEADER_BYTES, WRAP_TYPE, RingReceiver, RingSender
+from .nx import ANY_SOURCE, ANY_TYPE, NXRank, NXWorld
+from .rpc import RPCClient, RPCError, RPCServer
+from .sockets import Connection, Listener, SocketAPI
+from .sunrpc import SunRPCClient, SunRPCServer, XDRError, xdr_decode, xdr_encode
+
+__all__ = [
+    "RingSender",
+    "RingReceiver",
+    "HEADER_BYTES",
+    "WRAP_TYPE",
+    "NXWorld",
+    "NXRank",
+    "ANY_TYPE",
+    "ANY_SOURCE",
+    "SocketAPI",
+    "Listener",
+    "Connection",
+    "RPCServer",
+    "RPCClient",
+    "RPCError",
+    "BSPWorld",
+    "BSPProcess",
+    "SunRPCServer",
+    "SunRPCClient",
+    "XDRError",
+    "xdr_encode",
+    "xdr_decode",
+]

@@ -1,0 +1,315 @@
+"""Unidirectional ring channels over VMMC.
+
+Both the NX message-passing library and the stream-sockets library move
+data the same way (as their real SHRIMP implementations did): the receiver
+exports a ring receive buffer; the sender imports it and writes
+length-prefixed records into it — by deliberate update (the default) or by
+an automatic-update binding with combining (the "AU as bulk transfer"
+variants of section 4.2).  The receiver polls for arrival and returns ring
+space with credit messages.
+
+Wire format: every record is an 8-byte header (u32 length, u32 type)
+followed by the payload padded to 8 bytes, so the write pointer stays
+8-aligned and a wrap marker always fits.  A WRAP record (type 0xFFFFFFFF)
+tells the receiver to continue at offset zero.
+
+Flow control: the sender tracks cumulative ring bytes committed; the
+receiver reports cumulative bytes freed through a small credit buffer
+(exported by the sender, written by deliberate update) every quarter ring.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional, Tuple
+
+from ..vmmc import ImportedBuffer, ReceiveBuffer, VMMCEndpoint
+
+__all__ = ["RingSender", "RingReceiver", "HEADER_BYTES", "WRAP_TYPE"]
+
+HEADER_BYTES = 8
+WRAP_TYPE = 0xFFFFFFFF
+_HEADER = struct.Struct("<II")
+_CREDIT = struct.Struct("<Q")
+
+
+def _padded(length: int) -> int:
+    return (length + 7) & ~7
+
+
+class RingReceiver:
+    """The consuming end of a ring channel."""
+
+    def __init__(
+        self,
+        endpoint: VMMCEndpoint,
+        buffer: ReceiveBuffer,
+        credit_import: Optional[ImportedBuffer],
+        credit_staging: int,
+        ring_bytes: int,
+    ):
+        self.endpoint = endpoint
+        self.buffer = buffer
+        self._credit_import = credit_import
+        self._credit_staging = credit_staging
+        self.ring_bytes = ring_bytes
+        self._read_pos = 0
+        self._delivered_expected = 0
+        self._freed_total = 0
+        self._last_credit = 0
+        self.records_received = 0
+
+    @classmethod
+    def export_only(
+        cls,
+        endpoint: VMMCEndpoint,
+        name: str,
+        ring_bytes: int = 32 * 1024,
+        enable_notifications: bool = False,
+    ) -> Generator:
+        """Phase one of setup: export the ring, don't touch the credit path.
+
+        Use this (followed by :meth:`connect`) when many channels are
+        created all-to-all, so every ring is exported before anyone blocks
+        importing a credit buffer.
+        """
+        if ring_bytes % 8 != 0:
+            raise ValueError("ring size must be a multiple of 8")
+        buffer = yield from endpoint.export(
+            ring_bytes, name=name, enable_notifications=enable_notifications
+        )
+        # Export rounds up to whole pages; both ends must use the actual
+        # size (the sender derives it from the imported buffer).
+        return cls(endpoint, buffer, None, 0, buffer.nbytes)
+
+    def connect(self) -> Generator:
+        """Phase two: import the credit buffer the sender has exported."""
+        if self._credit_import is not None:
+            return
+        self._credit_import = yield from self.endpoint.import_buffer(
+            f"{self.buffer.name}.credit"
+        )
+        self._credit_staging = self.endpoint.alloc(8)
+
+    @classmethod
+    def create(
+        cls,
+        endpoint: VMMCEndpoint,
+        name: str,
+        ring_bytes: int = 32 * 1024,
+        enable_notifications: bool = False,
+    ) -> Generator:
+        """Export the ring and hook up the credit return path."""
+        receiver = yield from cls.export_only(
+            endpoint, name, ring_bytes, enable_notifications
+        )
+        yield from receiver.connect()
+        return receiver
+
+    @property
+    def max_record(self) -> int:
+        return self.ring_bytes // 4 - HEADER_BYTES
+
+    def recv_record(self) -> Generator:
+        """Block until the next record is complete; returns (type, bytes)."""
+        while True:
+            yield from self.endpoint.wait_bytes(
+                self.buffer, self._delivered_expected + HEADER_BYTES
+            )
+            header = self.endpoint.read_buffer(self.buffer, self._read_pos, HEADER_BYTES)
+            length, rtype = _HEADER.unpack(header)
+            if rtype == WRAP_TYPE:
+                self._delivered_expected += HEADER_BYTES
+                self._freed_total += self.ring_bytes - self._read_pos
+                self._read_pos = 0
+                yield from self._maybe_credit()
+                continue
+            padded = _padded(length)
+            yield from self.endpoint.wait_bytes(
+                self.buffer, self._delivered_expected + HEADER_BYTES + padded
+            )
+            data = self.endpoint.read_buffer(
+                self.buffer, self._read_pos + HEADER_BYTES, length
+            )
+            consumed = HEADER_BYTES + padded
+            self._delivered_expected += consumed
+            self._freed_total += consumed
+            self._read_pos += consumed
+            if self._read_pos == self.ring_bytes:
+                self._read_pos = 0
+            self.records_received += 1
+            yield from self._maybe_credit()
+            return rtype, data
+
+    def try_recv_record(self) -> Generator:
+        """Non-blocking receive: the next complete record or None.
+
+        Used by notification-driven consumers (the SVM daemon), which are
+        invoked per arrival and must drain whatever is complete without
+        blocking the dispatcher.
+        """
+        while True:
+            available = self.buffer.bytes_received
+            if available < self._delivered_expected + HEADER_BYTES:
+                return None
+            header = self.endpoint.read_buffer(self.buffer, self._read_pos, HEADER_BYTES)
+            length, rtype = _HEADER.unpack(header)
+            if rtype == WRAP_TYPE:
+                self._delivered_expected += HEADER_BYTES
+                self._freed_total += self.ring_bytes - self._read_pos
+                self._read_pos = 0
+                yield from self._maybe_credit()
+                continue
+            padded = _padded(length)
+            if available < self._delivered_expected + HEADER_BYTES + padded:
+                return None
+            data = self.endpoint.read_buffer(
+                self.buffer, self._read_pos + HEADER_BYTES, length
+            )
+            consumed = HEADER_BYTES + padded
+            self._delivered_expected += consumed
+            self._freed_total += consumed
+            self._read_pos += consumed
+            if self._read_pos == self.ring_bytes:
+                self._read_pos = 0
+            self.records_received += 1
+            yield from self._maybe_credit()
+            return rtype, data
+
+    def _maybe_credit(self) -> Generator:
+        if self._credit_import is None:
+            raise RuntimeError("ring receiver used before connect()")
+        if self._freed_total - self._last_credit >= self.ring_bytes // 4:
+            self._last_credit = self._freed_total
+            self.endpoint.poke(self._credit_staging, _CREDIT.pack(self._freed_total))
+            yield from self.endpoint.send(
+                self._credit_import, self._credit_staging, 8
+            )
+
+
+class RingSender:
+    """The producing end of a ring channel."""
+
+    def __init__(
+        self,
+        endpoint: VMMCEndpoint,
+        imported: ImportedBuffer,
+        credit_buffer: ReceiveBuffer,
+        staging: int,
+        ring_bytes: int,
+        transport: str,
+        ring_image: Optional[int] = None,
+    ):
+        self.endpoint = endpoint
+        self.imported = imported
+        self._credit_buffer = credit_buffer
+        self._staging = staging
+        self.ring_bytes = ring_bytes
+        self.transport = transport
+        self._ring_image = ring_image
+        self._write_pos = 0
+        self._committed = 0
+        self._freed = 0
+        self.records_sent = 0
+
+    @classmethod
+    def create(
+        cls,
+        endpoint: VMMCEndpoint,
+        name: str,
+        transport: str = "du",
+    ) -> Generator:
+        """Import the ring named ``name`` and export its credit buffer."""
+        if transport not in ("du", "au"):
+            raise ValueError(f"unknown transport {transport!r}")
+        imported = yield from endpoint.import_buffer(name)
+        ring_bytes = imported.nbytes
+        credit_buffer = yield from endpoint.export(8, name=f"{name}.credit")
+        staging = endpoint.alloc(ring_bytes // 4)
+        ring_image = None
+        if transport == "au":
+            ring_image = endpoint.alloc(ring_bytes)
+            yield from endpoint.bind_au(
+                imported, ring_image, imported.remote.npages, combine=True
+            )
+        return cls(
+            endpoint, imported, credit_buffer, staging, ring_bytes, transport,
+            ring_image,
+        )
+
+    @property
+    def max_record(self) -> int:
+        return self.ring_bytes // 4 - HEADER_BYTES
+
+    def send_record(
+        self,
+        rtype: int,
+        data: bytes,
+        interrupt: bool = False,
+        wait_delivered: bool = False,
+    ) -> Generator:
+        """Write one record into the remote ring (blocks on flow control)."""
+        if len(data) > self.max_record:
+            raise ValueError(
+                f"record of {len(data)} bytes exceeds max {self.max_record}"
+            )
+        if not 0 <= rtype < WRAP_TYPE:
+            raise ValueError(f"record type {rtype} out of range")
+        padded = _padded(len(data))
+        need = HEADER_BYTES + padded
+
+        if self._write_pos + need > self.ring_bytes:
+            pad = self.ring_bytes - self._write_pos
+            yield from self._wait_credit(pad + need)
+            yield from self._put(
+                self._write_pos, _HEADER.pack(0, WRAP_TYPE), False, False
+            )
+            self._committed += pad
+            self._write_pos = 0
+        else:
+            yield from self._wait_credit(need)
+
+        record = _HEADER.pack(len(data), rtype) + data + bytes(padded - len(data))
+        yield from self._put(self._write_pos, record, interrupt, wait_delivered)
+        self._committed += need
+        self._write_pos += need
+        if self._write_pos == self.ring_bytes:
+            self._write_pos = 0
+        self.records_sent += 1
+
+    def _put(
+        self, offset: int, record: bytes, interrupt: bool, wait_delivered: bool = False
+    ) -> Generator:
+        if self.transport == "du":
+            self.endpoint.poke(self._staging, record)
+            yield from self.endpoint.send(
+                self.imported,
+                self._staging,
+                len(record),
+                dst_offset=offset,
+                interrupt=interrupt,
+                sync_delivered=wait_delivered,
+            )
+        else:
+            yield from self.endpoint.au_write(self._ring_image + offset, record)
+            if wait_delivered:
+                yield from self.endpoint.au_drain()
+            else:
+                yield from self.endpoint.au_flush()
+
+    def _refresh_credit(self) -> None:
+        raw = self.endpoint.read_buffer(self._credit_buffer, 0, 8)
+        self._freed = _CREDIT.unpack(raw)[0]
+
+    def _wait_credit(self, need: int) -> Generator:
+        self._refresh_credit()
+        while self._committed + need - self._freed > self.ring_bytes:
+            yield from self._credit_buffer.arrival.wait()
+            yield from self.endpoint.node.cpu.busy(
+                self.endpoint.params.poll_us, "communication"
+            )
+            self._refresh_credit()
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return self._committed - self._freed

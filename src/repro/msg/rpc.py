@@ -1,0 +1,176 @@
+"""A fast RPC library on VMMC.
+
+The paper's section 3 lists a SunRPC-compatible library and a specialized
+fast-RPC library among the high-level APIs built on SHRIMP (reference [7],
+Bilas & Felten, "Fast RPC on the SHRIMP Virtual Memory Mapped Network
+Interface").  This module reproduces the specialized design: per-client
+request/reply channels established at bind time, arguments written
+straight into the server's receive buffer by deliberate update, replies
+returned the same way, and polling on both sides — no kernel, no
+interrupts, no marshalling beyond the caller's own bytes.
+
+Usage::
+
+    server = RPCServer(runtime)
+    server.register("add", add_handler)          # handler may be a
+    yield from server.serve(endpoint, "calc")    # generator (timed work)
+
+    client = yield from RPCClient.bind(endpoint, "calc")
+    reply = yield from client.call("add", payload)
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Callable, Dict, Generator, Optional
+
+from ..sim import Queue
+from ..vmmc import VMMCEndpoint, VMMCRuntime
+from .channel import RingReceiver, RingSender
+
+__all__ = ["RPCServer", "RPCClient", "RPCError"]
+
+_CALL_HDR = struct.Struct("<II")   # call id, procedure name length
+_REPLY_HDR = struct.Struct("<IB")  # call id, status
+_RT_CALL = 1
+_RT_REPLY = 2
+
+_STATUS_OK = 0
+_STATUS_NO_SUCH_PROC = 1
+_STATUS_HANDLER_ERROR = 2
+
+_client_ids = itertools.count(1)
+
+
+class RPCError(RuntimeError):
+    """A remote procedure call failed at the server."""
+
+
+class RPCServer:
+    """A named RPC service; one service process per connected client."""
+
+    def __init__(self, runtime: VMMCRuntime, ring_bytes: int = 16 * 1024):
+        self.runtime = runtime
+        self.ring_bytes = ring_bytes
+        self._procedures: Dict[str, Callable] = {}
+        self.calls_served = 0
+
+    def register(self, name: str, handler: Callable) -> None:
+        """Register a procedure.  ``handler(payload: bytes)`` returns the
+        reply bytes, or a generator yielding simulated work and returning
+        them."""
+        if name in self._procedures:
+            raise ValueError(f"procedure {name!r} already registered")
+        self._procedures[name] = handler
+
+    def serve(self, endpoint: VMMCEndpoint, service: str) -> Generator:
+        """Run the service forever on ``endpoint`` (spawn as a process).
+
+        Clients bind through the machine-wide registry; each gets its own
+        request/reply channel pair and a dedicated service loop.
+        """
+        bind_queue: Queue = self.runtime.machine.registry("rpc.bind").setdefault(
+            service, Queue(self.runtime.sim, f"rpc.{service}")
+        )
+        while True:
+            client_id = yield from bind_queue.get()
+            rx = yield from RingReceiver.export_only(
+                endpoint, f"rpc.{service}.{client_id}.req", self.ring_bytes
+            )
+            tx = yield from RingSender.create(
+                endpoint, f"rpc.{service}.{client_id}.rep"
+            )
+            yield from rx.connect()
+            self.runtime.sim.spawn(
+                self._service_loop(endpoint, rx, tx),
+                f"rpc.{service}.{client_id}",
+            )
+
+    def _service_loop(self, endpoint, rx: RingReceiver, tx: RingSender) -> Generator:
+        while True:
+            rtype, data = yield from rx.recv_record()
+            if rtype != _RT_CALL:
+                raise RPCError(f"bad request record type {rtype}")
+            call_id, name_len = _CALL_HDR.unpack_from(data)
+            name = data[_CALL_HDR.size : _CALL_HDR.size + name_len].decode()
+            payload = data[_CALL_HDR.size + name_len :]
+            handler = self._procedures.get(name)
+            if handler is None:
+                yield from tx.send_record(
+                    _RT_REPLY, _REPLY_HDR.pack(call_id, _STATUS_NO_SUCH_PROC)
+                )
+                continue
+            try:
+                result = handler(payload)
+                if hasattr(result, "send"):  # generator: timed server work
+                    result = yield from result
+            except Exception:
+                yield from tx.send_record(
+                    _RT_REPLY, _REPLY_HDR.pack(call_id, _STATUS_HANDLER_ERROR)
+                )
+                continue
+            self.calls_served += 1
+            endpoint.stats.count("rpc.calls_served")
+            yield from tx.send_record(
+                _RT_REPLY, _REPLY_HDR.pack(call_id, _STATUS_OK) + (result or b"")
+            )
+
+
+class RPCClient:
+    """A bound client: synchronous calls over a private channel pair."""
+
+    def __init__(self, endpoint: VMMCEndpoint, tx: RingSender, rx: RingReceiver):
+        self.endpoint = endpoint
+        self._tx = tx
+        self._rx = rx
+        self._call_ids = itertools.count(1)
+        self.calls_made = 0
+
+    @classmethod
+    def bind(
+        cls,
+        endpoint: VMMCEndpoint,
+        service: str,
+        runtime: Optional[VMMCRuntime] = None,
+        ring_bytes: int = 16 * 1024,
+    ) -> Generator:
+        """Connect to ``service``; returns a bound client."""
+        runtime = runtime or endpoint.runtime
+        client_id = next(_client_ids)
+        bind_queue = runtime.machine.registry("rpc.bind").setdefault(
+            service, Queue(runtime.sim, f"rpc.{service}")
+        )
+        # Binding costs a control-plane round (name service).
+        yield from endpoint.node.cpu.busy(endpoint.params.syscall_us, "overhead")
+        rx = yield from RingReceiver.export_only(
+            endpoint, f"rpc.{service}.{client_id}.rep", ring_bytes
+        )
+        bind_queue.put(client_id)
+        tx = yield from RingSender.create(
+            endpoint, f"rpc.{service}.{client_id}.req"
+        )
+        yield from rx.connect()
+        return cls(endpoint, tx, rx)
+
+    def call(self, procedure: str, payload: bytes = b"") -> Generator:
+        """Synchronous call; returns the reply bytes (raises RPCError on
+        server-side failure)."""
+        call_id = next(self._call_ids)
+        name = procedure.encode()
+        yield from self._tx.send_record(
+            _RT_CALL, _CALL_HDR.pack(call_id, len(name)) + name + payload
+        )
+        rtype, data = yield from self._rx.recv_record()
+        if rtype != _RT_REPLY:
+            raise RPCError(f"bad reply record type {rtype}")
+        got_id, status = _REPLY_HDR.unpack_from(data)
+        if got_id != call_id:
+            raise RPCError(f"reply id {got_id} for call {call_id}")
+        if status == _STATUS_NO_SUCH_PROC:
+            raise RPCError(f"no such procedure: {procedure}")
+        if status != _STATUS_OK:
+            raise RPCError(f"remote handler failed for {procedure!r}")
+        self.calls_made += 1
+        self.endpoint.stats.count("rpc.calls_made")
+        return data[_REPLY_HDR.size :]

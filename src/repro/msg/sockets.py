@@ -1,0 +1,173 @@
+"""A stream-sockets-compatible library on VMMC.
+
+Models the SHRIMP sockets library (paper reference [17]): connections are
+pairs of ring channels (one per direction) carrying length-prefixed data
+records; ``send``/``recv`` provide ordered reliable byte streams, and the
+``send_block`` extension marks the large block transfers the DFS
+application uses.  Like the real library, receivers poll — sockets
+applications take **zero** notifications (Table 3).
+
+Connection establishment is a rendezvous through a machine-wide listen
+queue (the real system used an out-of-band name service), after which both
+sides stand up their rings; all data then flows through VMMC proper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..sim import Queue
+from ..vmmc import VMMCEndpoint, VMMCRuntime
+from .channel import RingReceiver, RingSender
+
+__all__ = ["SocketAPI", "Listener", "Connection"]
+
+_RT_DATA = 1
+_RT_FIN = 2
+
+_conn_ids = itertools.count(1)
+
+
+@dataclass
+class _ConnectRequest:
+    conn_id: int
+    client_node: int
+
+
+class SocketAPI:
+    """Machine-wide sockets service."""
+
+    def __init__(
+        self,
+        runtime: VMMCRuntime,
+        transport: str = "du",
+        ring_bytes: int = 32 * 1024,
+    ):
+        if transport not in ("du", "au"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.runtime = runtime
+        self.transport = transport
+        self.ring_bytes = ring_bytes
+        self._listen_queues = runtime.machine.registry("sockets.listen")
+
+    def _queue_for(self, port: int) -> Queue:
+        if port not in self._listen_queues:
+            self._listen_queues[port] = Queue(self.runtime.sim, f"listen.{port}")
+        return self._listen_queues[port]
+
+    def listen(self, endpoint: VMMCEndpoint, port: int) -> "Listener":
+        return Listener(self, endpoint, port)
+
+    def connect(self, endpoint: VMMCEndpoint, port: int) -> Generator:
+        """Connect to whoever listens on ``port``; returns a Connection."""
+        conn_id = next(_conn_ids)
+        # Connection setup cost (name lookup + handshake software).
+        yield from endpoint.node.cpu.busy(endpoint.params.syscall_us, "overhead")
+        self._queue_for(port).put(_ConnectRequest(conn_id, endpoint.node_id))
+        rx = yield from RingReceiver.export_only(
+            endpoint, f"sock.{conn_id}.s2c", self.ring_bytes
+        )
+        tx = yield from RingSender.create(
+            endpoint, f"sock.{conn_id}.c2s", self.transport
+        )
+        yield from rx.connect()
+        return Connection(endpoint, tx, rx)
+
+    def _accept(self, endpoint: VMMCEndpoint, port: int) -> Generator:
+        request = yield from self._queue_for(port).get()
+        yield from endpoint.node.cpu.busy(endpoint.params.syscall_us, "overhead")
+        rx = yield from RingReceiver.export_only(
+            endpoint, f"sock.{request.conn_id}.c2s", self.ring_bytes
+        )
+        tx = yield from RingSender.create(
+            endpoint, f"sock.{request.conn_id}.s2c", self.transport
+        )
+        yield from rx.connect()
+        return Connection(endpoint, tx, rx, peer_node=request.client_node)
+
+
+class Listener:
+    """A passive socket bound to a port."""
+
+    def __init__(self, api: SocketAPI, endpoint: VMMCEndpoint, port: int):
+        self.api = api
+        self.endpoint = endpoint
+        self.port = port
+
+    def accept(self) -> Generator:
+        """Block for the next incoming connection; returns a Connection."""
+        connection = yield from self.api._accept(self.endpoint, self.port)
+        return connection
+
+
+class Connection:
+    """One end of an established stream connection."""
+
+    def __init__(
+        self,
+        endpoint: VMMCEndpoint,
+        tx: RingSender,
+        rx: RingReceiver,
+        peer_node: Optional[int] = None,
+    ):
+        self.endpoint = endpoint
+        self._tx = tx
+        self._rx = rx
+        self.peer_node = peer_node
+        self._pending = bytearray()
+        self._eof = False
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, data: bytes) -> Generator:
+        """Send the whole byte string (blocks on flow control)."""
+        if self._closed:
+            raise RuntimeError("send on closed connection")
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset : offset + self._tx.max_record]
+            yield from self._tx.send_record(_RT_DATA, chunk)
+            offset += len(chunk)
+        self.bytes_sent += len(data)
+
+    def send_block(self, data: bytes) -> Generator:
+        """The VMMC-sockets block-transfer extension (used by DFS)."""
+        self.endpoint.stats.count("sockets.block_sends")
+        yield from self.send(data)
+
+    def close(self) -> Generator:
+        if not self._closed:
+            self._closed = True
+            yield from self._tx.send_record(_RT_FIN, b"F")
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self, nbytes: int, exact: bool = True) -> Generator:
+        """Receive up to ``nbytes`` (exactly ``nbytes`` when ``exact``,
+        unless the peer closed first).  Returns b"" at EOF."""
+        while len(self._pending) < nbytes and not self._eof:
+            rtype, data = yield from self._rx.recv_record()
+            if rtype == _RT_FIN:
+                self._eof = True
+            elif rtype == _RT_DATA:
+                self._pending.extend(data)
+            else:
+                raise RuntimeError(f"bad socket record type {rtype}")
+            if not exact and self._pending:
+                break
+        take = min(nbytes, len(self._pending))
+        out = bytes(self._pending[:take])
+        del self._pending[:take]
+        self.bytes_received += len(out)
+        return out
+
+    def recv_exactly(self, nbytes: int) -> Generator:
+        data = yield from self.recv(nbytes, exact=True)
+        if len(data) != nbytes:
+            raise RuntimeError("connection closed mid-message")
+        return data

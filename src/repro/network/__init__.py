@@ -1,0 +1,7 @@
+"""The Paragon-style 2-D mesh backplane model."""
+
+from .backplane import Backplane
+from .packet import Packet, PacketKind
+from .topology import LinkId, MeshTopology
+
+__all__ = ["Backplane", "Packet", "PacketKind", "MeshTopology", "LinkId"]

@@ -1,0 +1,134 @@
+"""The routing backplane: links, contention, and wormhole transmission.
+
+Transmission model
+------------------
+True wormhole routing holds every channel on the path while the worm is in
+flight and pipelines flits across hops, giving an unloaded latency of
+roughly ``hops * hop_latency + size / link_bandwidth``.  The model here
+reproduces both properties:
+
+1. The sender acquires the path's links **in path order**, holding earlier
+   links while waiting for later ones — exactly the channel-holding behavior
+   that makes wormhole networks block back to the source under contention.
+   XY routing's acyclic channel-dependency graph guarantees this cannot
+   deadlock.
+2. Once the whole path is held, the packet takes one pipelined latency of
+   ``hops * router_hop_us + size / link_bandwidth``, then releases the path.
+
+Delivery is in order between any source/destination pair (deterministic
+routing + FIFO links + serialized injection at the source NIC), matching
+the real backplane's ordering guarantee for a single sender.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..sim import Resource, Simulator, StatsRegistry, Timeout
+from ..hardware import MachineParams
+from .packet import Packet
+from .topology import LinkId, MeshTopology
+
+__all__ = ["Backplane"]
+
+
+class Backplane:
+    """The full mesh fabric connecting all NICs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: MachineParams,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.stats = stats or StatsRegistry()
+        self.topology = MeshTopology(params.mesh_width, params.mesh_height)
+        self._links: Dict[LinkId, Resource] = {
+            link: Resource(sim, capacity=1, name=f"link{link}")
+            for link in self.topology.links()
+        }
+        # Per-destination ejection channel: the backplane-to-NIC hop that
+        # serializes many-to-one traffic at the receiver.
+        self._ejection: Dict[int, Resource] = {
+            node: Resource(sim, capacity=1, name=f"eject{node}")
+            for node in range(self.topology.num_nodes)
+        }
+        self._receivers: Dict[int, Callable[[Packet], None]] = {}
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    def attach_receiver(self, node: int, handler) -> None:
+        """Register the NIC-side admit handler: a generator function taking
+        the packet, which may block while the incoming FIFO is full."""
+        self._receivers[node] = handler
+
+    def link(self, link_id: LinkId) -> Resource:
+        return self._links[link_id]
+
+    # -- transmission ---------------------------------------------------
+
+    def transmit(self, packet: Packet) -> Generator:
+        """Carry ``packet`` to its destination; returns after delivery.
+
+        Called from the sending NIC's injection process, so packets from one
+        node are already serialized when they reach the fabric.  The worm
+        holds its whole path while waiting for space in the destination
+        NIC's incoming FIFO — wormhole backpressure: a slow receiver blocks
+        senders all the way back through the mesh.
+        """
+        if packet.dst == packet.src:
+            # Loopback never touches the backplane; charge a nominal
+            # NIC-internal turnaround.
+            yield Timeout(self.params.router_hop_us)
+            yield from self._deliver(packet)
+            return
+
+        path = self.topology.xy_route(packet.src, packet.dst)
+        held: List[Resource] = []
+        try:
+            for link_id in path:
+                link = self._links[link_id]
+                yield from link.acquire()
+                held.append(link)
+            ejection = self._ejection[packet.dst]
+            yield from ejection.acquire()
+            held.append(ejection)
+
+            latency = (
+                len(path) * self.params.router_hop_us
+                + packet.size / self.params.link_bandwidth
+            )
+            yield Timeout(latency)
+            yield from self._deliver(packet)
+        finally:
+            for link in held:
+                link.release()
+
+    def unloaded_latency(self, src: int, dst: int, size: int) -> float:
+        """Contention-free wire latency for a packet of ``size`` bytes."""
+        if src == dst:
+            return self.params.router_hop_us
+        hops = self.topology.hop_count(src, dst)
+        return hops * self.params.router_hop_us + size / self.params.link_bandwidth
+
+    def _deliver(self, packet: Packet) -> Generator:
+        """Hand the packet to the destination NIC's admit path.
+
+        The admit handler is a generator: it blocks while the NIC's
+        incoming FIFO is full, which (because the caller still holds the
+        worm's path) is what propagates backpressure into the mesh.
+        """
+        handler = self._receivers.get(packet.dst)
+        if handler is None:
+            raise RuntimeError(f"no receiver attached at node {packet.dst}")
+        yield from handler(packet)
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        self.stats.count("net.packets")
+        self.stats.count("net.bytes", packet.size)

@@ -1,0 +1,78 @@
+"""Network packets.
+
+SHRIMP packets address **remote physical memory** directly: the sending
+NIC's outgoing page table translates a local page to a (destination node,
+remote page frame) pair, so a packet carries the frame and byte offset it
+should be DMA'd to, plus an interrupt-request bit controlled by the sender
+(paper section 2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["PacketKind", "Packet"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    AUTOMATIC_UPDATE = "au"
+    DELIBERATE_UPDATE = "du"
+
+
+@dataclass
+class Packet:
+    """One wire transfer: header(s) plus a contiguous data payload.
+
+    ``fragments`` supports the *uncombined* automatic-update mode, where
+    every individual store becomes its own packet: a burst of N consecutive
+    word-packets is carried as one ``Packet`` with ``fragments=N``, paying N
+    headers on the wire and N per-packet costs at the receiver, but costing
+    O(1) simulation events.  Combined AU and deliberate-update packets have
+    ``fragments=1``.
+
+    ``last_of_message`` marks the final packet of a library-level message,
+    which is the granularity at which the "interrupt on every arriving
+    message" what-if (Table 4) fires.
+    """
+
+    src: int
+    dst: int
+    dst_frame: int
+    offset: int
+    payload: bytes
+    kind: PacketKind
+    interrupt: bool = False
+    fragments: int = 1
+    last_of_message: bool = True
+    header_bytes: int = 8
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self):
+        if not 0 <= self.offset:
+            raise ValueError(f"negative packet offset {self.offset}")
+        if len(self.payload) == 0:
+            raise ValueError("packets must carry at least one byte of data")
+        if self.fragments < 1:
+            raise ValueError("fragments must be >= 1")
+
+    @property
+    def size(self) -> int:
+        """Total wire size including every fragment header."""
+        return self.header_bytes * self.fragments + len(self.payload)
+
+    @property
+    def data_bytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        flag = "+irq" if self.interrupt else ""
+        frag = f" x{self.fragments}" if self.fragments > 1 else ""
+        return (
+            f"Packet#{self.packet_id}({self.kind.value}{flag}{frag} "
+            f"{self.src}->{self.dst} frame={self.dst_frame}+{self.offset} "
+            f"{len(self.payload)}B)"
+        )

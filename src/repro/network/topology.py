@@ -1,0 +1,90 @@
+"""2-D mesh topology with oblivious XY (dimension-ordered) routing.
+
+The Intel Paragon backplane used by SHRIMP is a two-dimensional mesh with
+oblivious wormhole routing.  XY routing sends a packet fully along the X
+dimension, then along Y; it is deterministic (all packets between a given
+source/destination pair take the same path) and deadlock-free, which the
+link-holding transmission model in :mod:`repro.network.backplane` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["MeshTopology", "LinkId"]
+
+#: A directed link identified by (from_node, to_node).
+LinkId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A width x height mesh of nodes numbered row-major from 0."""
+
+    width: int
+    height: int
+
+    def __post_init__(self):
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def neighbors(self, node: int) -> List[int]:
+        x, y = self.coords(node)
+        out = []
+        if x > 0:
+            out.append(self.node_at(x - 1, y))
+        if x < self.width - 1:
+            out.append(self.node_at(x + 1, y))
+        if y > 0:
+            out.append(self.node_at(x, y - 1))
+        if y < self.height - 1:
+            out.append(self.node_at(x, y + 1))
+        return out
+
+    def links(self) -> List[LinkId]:
+        """Every directed link in the mesh."""
+        out: List[LinkId] = []
+        for node in range(self.num_nodes):
+            for nbr in self.neighbors(node):
+                out.append((node, nbr))
+        return out
+
+    def xy_route(self, src: int, dst: int) -> List[LinkId]:
+        """The sequence of directed links from src to dst under XY routing.
+
+        Empty when src == dst (a node talking to itself never enters the
+        backplane).
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path: List[LinkId] = []
+        x, y = sx, sy
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            path.append((self.node_at(x, y), self.node_at(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            path.append((self.node_at(x, y), self.node_at(x, ny)))
+            y = ny
+        return path
+
+    def hop_count(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)

@@ -1,0 +1,186 @@
+"""Automatic-update combining engine (paper section 4.5.1).
+
+Without combining, the AU path launches one packet per individual store for
+minimum latency; large AU transfers then lose bandwidth to per-packet
+headers and per-packet bus transactions at the receiver.  With combining,
+the engine accumulates **consecutive** stores into a single packet until:
+
+- a non-consecutive store arrives,
+- a page boundary is crossed,
+- a specified sub-page boundary is crossed, or
+- a timer expires.
+
+Combining is enabled per-binding (the ``combine`` bit of the OPT entry),
+with a global force-off knob in :class:`~repro.nic.config.NICConfig`.
+
+Input granularity: the snoop path delivers *write runs* — (frame, offset,
+bytes) of consecutive stores — since the CPU model batches consecutive
+stores.  A run that arrives while an adjacent pending packet is open simply
+extends it, so sparse single-word runs behave exactly like individual
+stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim import Simulator
+from ..network import Packet, PacketKind
+from .opt import OPTEntry
+
+__all__ = ["CombiningEngine", "PendingPacket"]
+
+
+@dataclass
+class PendingPacket:
+    """A combined packet being accumulated."""
+
+    dst_node: int
+    dst_frame: int
+    offset: int
+    data: bytearray
+    interrupt: bool
+    generation: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.data)
+
+
+class CombiningEngine:
+    """Turns snooped write runs into outgoing AU packets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_node: int,
+        emit: Callable[[Packet], None],
+        word_size: int,
+        page_size: int,
+        combine_boundary: int,
+        combine_timeout_us: float,
+        force_off: bool = False,
+    ):
+        self.sim = sim
+        self.src_node = src_node
+        self.emit = emit
+        self.word_size = word_size
+        self.page_size = page_size
+        self.combine_boundary = combine_boundary
+        self.combine_timeout_us = combine_timeout_us
+        self.force_off = force_off
+        self._pending: Optional[PendingPacket] = None
+        self._generation = 0
+        self.packets_emitted = 0
+        self.stores_seen = 0
+        self.stores_combined = 0
+
+    # -- snoop input -------------------------------------------------------
+
+    def write_run(self, entry: OPTEntry, offset: int, data: bytes) -> None:
+        """A run of consecutive stores to an AU-bound frame.
+
+        ``offset`` is the byte offset within the page; ``data`` the stored
+        bytes.  The run never crosses a page boundary (callers split at
+        pages, as automatic-update bindings are page-aligned).
+        """
+        if offset + len(data) > self.page_size:
+            raise ValueError("write run crosses a page boundary")
+        nwords = max(1, len(data) // self.word_size)
+        self.stores_seen += nwords
+
+        if self.force_off or not entry.combine:
+            self._flush()
+            self._emit_uncombined(entry, offset, data, nwords)
+            return
+
+        self._combine_run(entry, offset, data)
+
+    def _emit_uncombined(
+        self, entry: OPTEntry, offset: int, data: bytes, nwords: int
+    ) -> None:
+        """One packet per store, carried as a single fragment burst."""
+        self.emit(
+            Packet(
+                src=self.src_node,
+                dst=entry.dst_node,
+                dst_frame=entry.dst_frame,
+                offset=offset,
+                payload=bytes(data),
+                kind=PacketKind.AUTOMATIC_UPDATE,
+                interrupt=entry.interrupt,
+                fragments=nwords,
+            )
+        )
+        self.packets_emitted += nwords
+
+    def _combine_run(self, entry: OPTEntry, offset: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            run_offset = offset + pos
+            pending = self._pending
+            extends = (
+                pending is not None
+                and pending.dst_node == entry.dst_node
+                and pending.dst_frame == entry.dst_frame
+                and pending.end == run_offset
+            )
+            if not extends:
+                self._flush()
+                self._pending = PendingPacket(
+                    dst_node=entry.dst_node,
+                    dst_frame=entry.dst_frame,
+                    offset=run_offset,
+                    data=bytearray(),
+                    interrupt=entry.interrupt,
+                    generation=self._next_generation(),
+                )
+                self._arm_timer(self._pending.generation)
+            else:
+                self.stores_combined += 1
+
+            pending = self._pending
+            # Fill up to the next sub-page combining boundary.
+            boundary = (
+                (pending.end // self.combine_boundary) + 1
+            ) * self.combine_boundary
+            take = min(len(data) - pos, boundary - pending.end)
+            pending.data.extend(data[pos : pos + take])
+            pos += take
+            if pending.end >= boundary or pending.end >= self.page_size:
+                self._flush()
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force out any partially accumulated packet."""
+        self._flush()
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None or not pending.data:
+            return
+        self.emit(
+            Packet(
+                src=self.src_node,
+                dst=pending.dst_node,
+                dst_frame=pending.dst_frame,
+                offset=pending.offset,
+                payload=bytes(pending.data),
+                kind=PacketKind.AUTOMATIC_UPDATE,
+                interrupt=pending.interrupt,
+            )
+        )
+        self.packets_emitted += 1
+
+    def _next_generation(self) -> int:
+        self._generation += 1
+        return self._generation
+
+    def _arm_timer(self, generation: int) -> None:
+        def expire() -> None:
+            if self._pending is not None and self._pending.generation == generation:
+                self._flush()
+
+        self.sim.schedule(self.combine_timeout_us, expire)

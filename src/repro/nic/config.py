@@ -1,0 +1,52 @@
+"""NIC what-if configuration.
+
+The paper evaluates design choices by *reprogramming the network interface
+firmware and the low-level software* (section 4).  ``NICConfig`` exposes the
+same knobs:
+
+- ``user_level_dma=False``: every deliberate-update send traps into a
+  kernel driver first (section 4.3, Table 2).
+- ``interrupt_every_message=True``: every arriving message fires a
+  null-handler interrupt (section 4.4, Table 4).
+- ``au_combining=False``: automatic update emits one packet per store
+  (section 4.5.1).
+- ``fifo_capacity``: override the outgoing FIFO depth (section 4.5.2).
+- ``du_queue_depth``: deliberate-update request queue depth; 1 means no
+  queueing, 2 reproduces the 2-deep queue experiment (section 4.5.3).
+- ``automatic_update=False``: the NIC has no AU support at all, modeling
+  a plain block-transfer-only design (section 4.2 framing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+__all__ = ["NICConfig", "DEFAULT_NIC_CONFIG"]
+
+
+@dataclass(frozen=True)
+class NICConfig:
+    user_level_dma: bool = True
+    interrupt_every_message: bool = False
+    au_combining: bool = True
+    fifo_capacity: Optional[int] = None
+    du_queue_depth: int = 1
+    automatic_update: bool = True
+    #: Sub-page combining boundary: a combined AU packet never crosses a
+    #: multiple of this many bytes (the "specified sub-page boundary" of
+    #: section 4.5.1).  Sized so a maximal combined packet comfortably
+    #: fits even the 1 KB FIFO of the capacity experiment (section 4.5.2).
+    combine_boundary: int = 256
+
+    def __post_init__(self):
+        if self.du_queue_depth < 1:
+            raise ValueError("du_queue_depth must be >= 1")
+        if self.combine_boundary < 8:
+            raise ValueError("combine_boundary unreasonably small")
+
+    def with_overrides(self, **overrides: Any) -> "NICConfig":
+        return replace(self, **overrides)
+
+
+DEFAULT_NIC_CONFIG = NICConfig()

@@ -1,0 +1,154 @@
+"""The deliberate-update engine: user-level DMA with optional queueing.
+
+Deliberate update is initiated by a two-instruction load/store sequence to
+I/O-mapped proxy addresses (user-level DMA, paper sections 2.3 and 4.3).
+Protection comes from proxy page mappings, with the consequence that **a
+transfer can never cross a page boundary** — large sends are issued as
+multiple per-page transfers, which is exactly what motivated the queueing
+experiment of section 4.5.3.
+
+The engine's request queue depth is configurable: depth 1 means a new
+initiation waits for the engine to go idle (the production SHRIMP design);
+depth 2 reproduces the 2-deep queue experiment.  Crucially, the DMA data
+read from main memory **holds the memory bus at EISA speed**, so a queued
+transfer still contends with the CPU — the reason queueing bought ~nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Set
+
+from ..sim import Event, Queue, Resource, Simulator, StatsRegistry
+from ..sim.engine import Timeout
+from ..hardware import MachineParams, MemoryBus, PhysicalMemory
+from ..network import Packet, PacketKind
+
+__all__ = ["TransferRequest", "DeliberateUpdateEngine"]
+
+
+@dataclass
+class TransferRequest:
+    """One deliberate-update transfer (at most one page)."""
+
+    src_phys: int
+    nbytes: int
+    dst_node: int
+    dst_frame: int
+    dst_offset: int
+    interrupt: bool = False
+    last_of_message: bool = True
+    #: Triggered when the DMA has read the data and handed it to the network
+    #: (source buffer reusable).
+    sent: Optional[Event] = None
+    #: Triggered when the packet has been delivered to the remote NIC.
+    delivered: Optional[Event] = None
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError("transfer must move at least one byte")
+
+
+class DeliberateUpdateEngine:
+    """Drains a queue of transfer requests through memory DMA + the network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: MachineParams,
+        memory: PhysicalMemory,
+        bus: MemoryBus,
+        inject,
+        queue_depth: int,
+        stats: StatsRegistry,
+    ):
+        """``inject`` is a generator function ``inject(packet)`` supplied by
+        the NIC: it serializes on the format-and-send arbiter and transmits."""
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.memory = memory
+        self.bus = bus
+        self.inject = inject
+        self.stats = stats
+        self._slots = Resource(sim, capacity=queue_depth, name=f"du{node_id}.slots")
+        self._requests: Queue = Queue(sim, f"du{node_id}.requests")
+        self._pending_pages: Set[int] = set()
+        self.transfers_completed = 0
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.sim.spawn(self._run(), f"du-engine{self.node_id}")
+
+    @property
+    def queue_depth(self) -> int:
+        return self._slots.capacity
+
+    def page_pending(self, frame: int) -> bool:
+        """Associative-memory check: is this frame part of a pending
+        transfer?  (The OS must not replace such pages — section 4.5.3.)"""
+        return frame in self._pending_pages
+
+    # -- initiation (called from the sending process) ---------------------
+
+    def initiate(self, request: TransferRequest) -> Generator:
+        """Issue a transfer; returns once the request occupies a queue slot.
+
+        With queue depth 1 this blocks until the engine is idle; deeper
+        queues let asynchronous sends run ahead of the DMA.
+        """
+        page_span = self._page_span(request)
+        if len(page_span) != 1:
+            raise ValueError(
+                "deliberate-update transfers cannot cross page boundaries; "
+                f"request spans frames {sorted(page_span)}"
+            )
+        if request.dst_offset + request.nbytes > self.params.page_size:
+            raise ValueError("transfer crosses the remote page boundary")
+        yield from self._slots.acquire()
+        self._pending_pages.update(page_span)
+        if request.sent is None:
+            request.sent = self.sim.event("du.sent")
+        if request.delivered is None:
+            request.delivered = self.sim.event("du.delivered")
+        self._requests.put(request)
+
+    def _page_span(self, request: TransferRequest) -> Set[int]:
+        first = request.src_phys // self.params.page_size
+        last = (request.src_phys + request.nbytes - 1) // self.params.page_size
+        return set(range(first, last + 1))
+
+    # -- the engine ----------------------------------------------------------
+
+    def _run(self) -> Generator:
+        while True:
+            request = yield from self._requests.get()
+            yield Timeout(self.params.dma_start_us)
+            # DMA read of the source data: holds the memory bus at EISA
+            # speed, locking out the CPU for the duration.
+            yield from self.bus.transfer(
+                request.nbytes, bandwidth=self.params.eisa_bandwidth
+            )
+            payload = self.memory.read(request.src_phys, request.nbytes)
+            self._pending_pages -= self._page_span(request)
+            self._slots.release()
+            request.sent.succeed()
+
+            yield Timeout(self.params.packetize_us)
+            packet = Packet(
+                src=self.node_id,
+                dst=request.dst_node,
+                dst_frame=request.dst_frame,
+                offset=request.dst_offset,
+                payload=payload,
+                kind=PacketKind.DELIBERATE_UPDATE,
+                interrupt=request.interrupt,
+                last_of_message=request.last_of_message,
+            )
+            yield from self.inject(packet)
+            self.transfers_completed += 1
+            self.stats.count("du.transfers")
+            self.stats.count("du.bytes", request.nbytes)
+            request.delivered.succeed()

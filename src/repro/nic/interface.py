@@ -1,0 +1,238 @@
+"""The SHRIMP network interface, assembled.
+
+Mirrors Figure 2 of the paper:
+
+- **snoop logic** (memory-bus board) feeds AU write runs to the
+  **combining engine**, which emits packets into the **outgoing FIFO**;
+- the FIFO drains through the **format-and-send arbiter** into the network;
+- the **deliberate-update engine** performs user-level DMA transfers and
+  injects through the same arbiter;
+- the **incoming engine** DMAs arriving packets into physical memory,
+  consults the **incoming page table** for notification interrupts, and
+  hands delivery events up to the node.
+
+Incoming packets have top priority for NIC-internal resources (the paper's
+FIFO-drain discussion); the model reflects this by giving the receive path
+its own engine that never waits on the send side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..sim import Queue, Resource, Simulator, StatsRegistry, Timeout
+from ..hardware import MachineParams, MemoryBus, PhysicalMemory
+from ..network import Backplane, Packet
+from .combining import CombiningEngine
+from .config import NICConfig
+from .dma import DeliberateUpdateEngine, TransferRequest
+from .fifo import OutgoingFIFO
+from .ipt import IncomingPageTable
+from .opt import OPTEntry, OutgoingPageTable
+
+__all__ = ["ShrimpNIC"]
+
+#: Delivery hook signature: called after a packet's payload is in memory.
+DeliveryHook = Callable[[Packet], None]
+
+
+class ShrimpNIC:
+    """One node's network interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: MachineParams,
+        config: NICConfig,
+        memory: PhysicalMemory,
+        bus: MemoryBus,
+        backplane: Backplane,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.config = config
+        self.memory = memory
+        self.bus = bus
+        self.backplane = backplane
+        self.stats = stats
+
+        self.opt = OutgoingPageTable(memory.num_frames)
+        self.ipt = IncomingPageTable(memory.num_frames)
+
+        fifo_capacity = config.fifo_capacity or params.fifo_capacity
+        threshold = int(fifo_capacity * params.fifo_threshold_fraction)
+        self.fifo = OutgoingFIFO(sim, fifo_capacity, threshold, f"ofifo{node_id}")
+
+        self.combiner = CombiningEngine(
+            sim,
+            node_id,
+            emit=self.fifo.put,
+            word_size=params.word_size,
+            page_size=params.page_size,
+            combine_boundary=config.combine_boundary,
+            combine_timeout_us=params.combine_timeout_us,
+            force_off=not config.au_combining,
+        )
+
+        self.arbiter = Resource(sim, capacity=1, name=f"arbiter{node_id}")
+        self.du = DeliberateUpdateEngine(
+            sim,
+            node_id,
+            params,
+            memory,
+            bus,
+            inject=self._inject,
+            queue_depth=config.du_queue_depth,
+            stats=stats,
+        )
+
+        self._rx_queue: Queue = Queue(sim, f"rx{node_id}")
+        self._rx_fill = 0
+        self._rx_freed = None  # created lazily (needs sim ready)
+        self._delivery_queue: Queue = Queue(sim, f"delivery{node_id}")
+        self._delivery_hooks: List[DeliveryHook] = []
+        #: Set by the kernel: fired for notification-eligible packets.
+        self.on_notification_interrupt: Optional[Callable[[Packet], None]] = None
+        #: Set by the kernel: fired per message in interrupt_every_message mode.
+        self.on_message_interrupt: Optional[Callable[[Packet], None]] = None
+
+        backplane.attach_receiver(node_id, self._on_packet)
+        self._started = False
+
+    def start(self) -> None:
+        """Spawn the NIC's internal engines (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.du.start()
+        self.sim.spawn(self._drain_fifo(), f"fifo-drain{self.node_id}")
+        self.sim.spawn(self._receive_engine(), f"rx-engine{self.node_id}")
+        self.sim.spawn(self._delivery_pipeline(), f"delivery{self.node_id}")
+
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        self._delivery_hooks.append(hook)
+
+    # -- send side: automatic update -----------------------------------------
+
+    def snoop_write(self, frame: int, offset: int, data: bytes) -> Optional[OPTEntry]:
+        """A write run snooped off the memory bus.
+
+        Returns the matching OPT entry when the frame is AU-bound (the run
+        was captured), else None (snooped but ignored).
+        """
+        if not self.config.automatic_update:
+            return None
+        entry = self.opt.au_lookup(frame)
+        if entry is None:
+            return None
+        self.combiner.write_run(entry, offset, data)
+        self.stats.count("au.write_runs")
+        self.stats.count("au.bytes", len(data))
+        return entry
+
+    def _drain_fifo(self) -> Generator:
+        while True:
+            packet = yield from self.fifo.get()
+            yield Timeout(self.params.snoop_capture_us + self.params.packetize_us)
+            yield from self._inject(packet)
+            self.fifo.mark_injected(packet)
+            self.stats.count("au.packets", packet.fragments)
+
+    # -- send side: deliberate update ------------------------------------
+
+    def initiate_du(self, request: TransferRequest) -> Generator:
+        yield from self.du.initiate(request)
+
+    def _inject(self, packet: Packet) -> Generator:
+        """Serialize on the format-and-send arbiter, then transmit."""
+        self.stats.trace("nic.tx", self.node_id, repr(packet))
+        yield from self.arbiter.acquire()
+        try:
+            yield from self.backplane.transmit(packet)
+        finally:
+            self.arbiter.release()
+
+    # -- receive side --------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> Generator:
+        """Backplane admit path: blocks while the incoming FIFO is full
+        (the caller holds the worm's path, so this is wormhole
+        backpressure)."""
+        if self._rx_freed is None:
+            from ..sim import Signal
+
+            self._rx_freed = Signal(self.sim, f"rxfree{self.node_id}")
+        capacity = max(self.params.rx_fifo_bytes, packet.size)
+        while self._rx_fill + packet.size > capacity:
+            self.stats.count("rx.backpressure")
+            yield from self._rx_freed.wait()
+        self._rx_fill += packet.size
+        self._rx_queue.put(packet)
+
+    def _receive_engine(self) -> Generator:
+        while True:
+            packet = yield from self._rx_queue.get()
+            # Per-packet header decode and IPT lookup, once per fragment.
+            yield Timeout(
+                packet.fragments * self.params.rx_packet_us
+                + self.params.rx_dma_start_us
+            )
+            # Incoming DMA into main memory: each fragment is an individual
+            # EISA bus transaction — the bandwidth penalty that makes
+            # uncombined automatic update collapse for bulk data
+            # (section 4.5.1).
+            yield from self.bus.transfer(
+                packet.data_bytes,
+                bandwidth=self.params.eisa_bandwidth,
+                transactions=packet.fragments,
+                transaction_us=self.params.eisa_transaction_us,
+            )
+            base = self.memory.frame_base(packet.dst_frame)
+            self.memory.write(base + packet.offset, packet.payload)
+            self._rx_fill -= packet.size
+            if self._rx_freed is not None:
+                self._rx_freed.fire()
+            self.stats.count("rx.packets", packet.fragments)
+            self.stats.count("rx.bytes", packet.data_bytes)
+            self.stats.trace("nic.rx", self.node_id, repr(packet))
+            self._post_delivery(packet)
+
+    def _post_delivery(self, packet: Packet) -> None:
+        """Queue the packet's delivery side-effects.
+
+        Visibility (status words, notifications) lags the DMA by the
+        receive pipeline latency, plus — in the interrupt-per-message
+        what-if — the null handler's run time, since the handler preempts
+        the processor before the polling application can observe the
+        arrival.  A single pipeline process applies effects strictly in
+        arrival order.
+        """
+        from ..network import PacketKind
+
+        delay = self.params.rx_pipeline_us
+        is_message_end = (
+            packet.kind is PacketKind.DELIBERATE_UPDATE and packet.last_of_message
+        )
+        is_notification = self.ipt.should_interrupt(packet.dst_frame, packet.interrupt)
+        if (
+            not is_notification
+            and self.config.interrupt_every_message
+            and is_message_end
+            and self.on_message_interrupt is not None
+        ):
+            self.on_message_interrupt(packet)
+            delay += self.params.interrupt_null_us
+        self._delivery_queue.put((packet, self.sim.now + delay, is_notification))
+
+    def _delivery_pipeline(self) -> Generator:
+        while True:
+            packet, visible_at, is_notification = yield from self._delivery_queue.get()
+            if visible_at > self.sim.now:
+                yield Timeout(visible_at - self.sim.now)
+            if is_notification and self.on_notification_interrupt is not None:
+                self.on_notification_interrupt(packet)
+            for hook in self._delivery_hooks:
+                hook(packet)

@@ -1,0 +1,68 @@
+"""Incoming Page Table (IPT).
+
+One entry per local physical frame.  An arriving packet causes an interrupt
+only when the interrupt bit in the packet header (sender-controlled) AND the
+interrupt bit of the destination page's IPT entry (receiver-controlled) are
+both set (paper section 2.3) — the conjunction that lets receivers opt out
+of interrupts entirely and poll instead (section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["IPTEntry", "IncomingPageTable"]
+
+
+@dataclass
+class IPTEntry:
+    """Receive-side state for one exported physical frame."""
+
+    #: Receiver-controlled interrupt-enable bit.
+    interrupt_enabled: bool = False
+    #: Owning process id on this node (notification routing).
+    owner_pid: Optional[int] = None
+    #: Buffer id the frame belongs to (notification routing).
+    buffer_id: Optional[int] = None
+
+
+class IncomingPageTable:
+    def __init__(self, num_frames: int):
+        self.num_frames = num_frames
+        self._entries: Dict[int, IPTEntry] = {}
+
+    def export_frame(
+        self,
+        frame: int,
+        owner_pid: int,
+        buffer_id: int,
+        interrupt_enabled: bool = False,
+    ) -> None:
+        if not 0 <= frame < self.num_frames:
+            raise ValueError(f"frame {frame} out of range")
+        if frame in self._entries:
+            raise ValueError(f"frame {frame} already exported")
+        self._entries[frame] = IPTEntry(interrupt_enabled, owner_pid, buffer_id)
+
+    def unexport_frame(self, frame: int) -> None:
+        if frame not in self._entries:
+            raise ValueError(f"frame {frame} not exported")
+        del self._entries[frame]
+
+    def lookup(self, frame: int) -> Optional[IPTEntry]:
+        return self._entries.get(frame)
+
+    def set_interrupt(self, frame: int, enabled: bool) -> None:
+        entry = self._entries.get(frame)
+        if entry is None:
+            raise ValueError(f"frame {frame} not exported")
+        entry.interrupt_enabled = enabled
+
+    def should_interrupt(self, frame: int, packet_interrupt_bit: bool) -> bool:
+        """The AND of the sender's header bit and the receiver's IPT bit."""
+        entry = self._entries.get(frame)
+        return bool(entry and entry.interrupt_enabled and packet_interrupt_bit)
+
+    def export_count(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,102 @@
+"""Outgoing Page Table (OPT).
+
+The OPT maps **local physical page frames** one-to-one to outgoing-mapping
+entries (paper section 2.3): a write snooped off the memory bus addresses
+the OPT directly by frame number and obtains the remote (node, frame) it is
+bound to.  Import of a receive buffer also allocates OPT entries — one per
+proxy page — which the deliberate-update engine consults to translate proxy
+references into remote physical pages.
+
+Both uses are modeled here: AU bindings are keyed by local frame (the snoop
+path), and proxy entries are keyed by a proxy-page id handed to the importer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["OPTEntry", "ProxyEntry", "OutgoingPageTable"]
+
+
+@dataclass
+class OPTEntry:
+    """An automatic-update binding for one local physical frame."""
+
+    dst_node: int
+    dst_frame: int
+    enabled: bool = True
+    #: Combine consecutive stores into one packet (set per-binding when the
+    #: binding is created — section 4.5.1).
+    combine: bool = False
+    #: Sender's interrupt-request bit for AU packets; for automatic update
+    #: it is stored in the OPT (section 2.3, Notifications).
+    interrupt: bool = False
+
+
+@dataclass
+class ProxyEntry:
+    """A deliberate-update destination mapping for one proxy page."""
+
+    dst_node: int
+    dst_frame: int
+    #: Byte offset limit: transfers through this proxy page must stay
+    #: within the remote page (transfers cannot cross page boundaries).
+    page_size: int = 4096
+
+
+class OutgoingPageTable:
+    """The NIC's outgoing translation state."""
+
+    def __init__(self, num_frames: int):
+        self.num_frames = num_frames
+        self._au: Dict[int, OPTEntry] = {}
+        self._proxy: Dict[int, ProxyEntry] = {}
+        self._next_proxy_id = 0
+
+    # -- automatic-update bindings (keyed by local physical frame) --------
+
+    def bind_au(self, local_frame: int, entry: OPTEntry) -> None:
+        if not 0 <= local_frame < self.num_frames:
+            raise ValueError(f"frame {local_frame} out of range")
+        if local_frame in self._au:
+            raise ValueError(f"frame {local_frame} already has an AU binding")
+        self._au[local_frame] = entry
+
+    def unbind_au(self, local_frame: int) -> None:
+        if local_frame not in self._au:
+            raise ValueError(f"frame {local_frame} has no AU binding")
+        del self._au[local_frame]
+
+    def au_lookup(self, local_frame: int) -> Optional[OPTEntry]:
+        """Snoop-path lookup: None when the frame is not AU-bound (such
+        writes are snooped but ignored)."""
+        entry = self._au.get(local_frame)
+        if entry is not None and entry.enabled:
+            return entry
+        return None
+
+    def au_binding_count(self) -> int:
+        return len(self._au)
+
+    # -- proxy entries (deliberate update) -----------------------------------
+
+    def alloc_proxy(self, dst_node: int, dst_frame: int, page_size: int) -> int:
+        proxy_id = self._next_proxy_id
+        self._next_proxy_id += 1
+        self._proxy[proxy_id] = ProxyEntry(dst_node, dst_frame, page_size)
+        return proxy_id
+
+    def free_proxy(self, proxy_id: int) -> None:
+        if proxy_id not in self._proxy:
+            raise ValueError(f"proxy {proxy_id} not allocated")
+        del self._proxy[proxy_id]
+
+    def proxy_lookup(self, proxy_id: int) -> ProxyEntry:
+        entry = self._proxy.get(proxy_id)
+        if entry is None:
+            raise ValueError(f"proxy {proxy_id} not allocated")
+        return entry
+
+    def proxy_count(self) -> int:
+        return len(self._proxy)

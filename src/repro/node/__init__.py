@@ -1,0 +1,7 @@
+"""Node assembly: kernel, node, machine."""
+
+from .kernel import Kernel
+from .machine import Machine
+from .node import Node, NodeProcess
+
+__all__ = ["Kernel", "Node", "NodeProcess", "Machine"]

@@ -1,0 +1,107 @@
+"""The node operating-system model.
+
+The kernel's role in SHRIMP is deliberately thin — the whole point of the
+architecture is to keep it off the communication fast path — but it still:
+
+- fields interrupts (notification interrupts, the per-message null
+  interrupts of the Table 4 what-if, and the outgoing-FIFO threshold
+  interrupt);
+- implements the software flow control for automatic update: on a FIFO
+  threshold interrupt it de-schedules every process performing automatic
+  update until the FIFO drains (section 4.5.2);
+- provides the system-call path used by the kernel-mediated-send what-if
+  (Table 2);
+- pins pages at export time.
+
+Interrupt time is charged to the node's CPU through the stealing model in
+:class:`repro.hardware.cpu.CPU`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..sim import Simulator, StatsRegistry
+from ..hardware import CPU, MachineParams
+from ..network import Packet
+from ..nic import ShrimpNIC
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: MachineParams,
+        cpu: CPU,
+        stats: StatsRegistry,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.cpu = cpu
+        self.stats = stats
+        self._nic: Optional[ShrimpNIC] = None
+        #: Set by the VMMC runtime: receives notification-eligible packets.
+        self.on_notification: Optional[Callable[[Packet], None]] = None
+
+    def attach_nic(self, nic: ShrimpNIC) -> None:
+        self._nic = nic
+        nic.fifo.on_threshold = self._fifo_threshold_interrupt
+        nic.on_message_interrupt = self._null_message_interrupt
+        nic.on_notification_interrupt = self._notification_interrupt
+
+    # -- system calls -------------------------------------------------------
+
+    def syscall(self, category: str = "overhead") -> Generator:
+        """Trap into the kernel; the cost of the Table 2 what-if."""
+        self.stats.count("kernel.syscalls")
+        yield from self.cpu.busy(self.params.syscall_us, category)
+
+    def pin_pages(self, npages: int) -> Generator:
+        """Pin virtual pages to physical pages (export-time cost)."""
+        self.stats.count("kernel.pinned_pages", npages)
+        yield from self.cpu.busy(npages * self.params.pin_page_us, "overhead")
+
+    # -- interrupts ---------------------------------------------------------
+
+    def _null_message_interrupt(self, packet: Packet) -> None:
+        """Table 4 what-if: a null kernel handler on every arriving message."""
+        self.stats.count("kernel.message_interrupts")
+        self.cpu.steal(self.params.interrupt_null_us)
+
+    def _notification_interrupt(self, packet: Packet) -> None:
+        """A real notification: system handler + user-level dispatch cost."""
+        self.stats.count("kernel.notification_interrupts")
+        self.stats.trace("kernel.irq", self.node_id, "notification interrupt")
+        self.cpu.steal(
+            self.params.interrupt_null_us + self.params.notification_dispatch_us
+        )
+        if self.on_notification is not None:
+            self.on_notification(packet)
+
+    # -- automatic-update flow control -----------------------------------
+
+    def _fifo_threshold_interrupt(self) -> None:
+        self.stats.count("kernel.fifo_threshold_interrupts")
+        self.cpu.steal(self.params.interrupt_null_us + self.params.deschedule_us)
+
+    @property
+    def au_blocked(self) -> bool:
+        """Flow control is active while the FIFO sits over its threshold."""
+        return self._nic is not None and self._nic.fifo.over_threshold
+
+    def au_throttle(self) -> Generator:
+        """Called before every AU write burst: blocks while de-scheduled.
+
+        The threshold interrupt de-schedules AU-performing processes; they
+        resume (paying the re-schedule cost) once the FIFO has drained to
+        its resume mark.
+        """
+        while self.au_blocked:
+            self.stats.count("kernel.au_throttled")
+            yield from self._nic.fifo.drained.wait()
+            # Charge the de-schedule/re-schedule round trip.
+            yield from self.cpu.busy(self.params.deschedule_us, "overhead")

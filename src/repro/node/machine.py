@@ -1,0 +1,92 @@
+"""The assembled SHRIMP machine: nodes + backplane + shared registries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import DeterministicRandom, Simulator, StatsRegistry
+from ..hardware import DEFAULT_PARAMS, MachineParams
+from ..network import Backplane
+from ..nic import DEFAULT_NIC_CONFIG, NICConfig
+from .node import Node, NodeProcess
+
+__all__ = ["Machine"]
+
+
+def _mesh_for(num_nodes: int) -> Tuple[int, int]:
+    """Smallest near-square mesh holding ``num_nodes``."""
+    width = max(1, math.isqrt(num_nodes))
+    while width * math.ceil(num_nodes / width) < num_nodes:  # pragma: no cover
+        width += 1
+    height = math.ceil(num_nodes / width)
+    return max(width, 1), max(height, 1)
+
+
+class Machine:
+    """A SHRIMP system of ``num_nodes`` nodes on a 2-D mesh backplane.
+
+    This is the top-level object applications and experiments build
+    against::
+
+        machine = Machine(num_nodes=16)
+        machine.start()
+        vmmc = VMMCRuntime(machine)
+        ...
+        machine.sim.run()
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 16,
+        params: Optional[MachineParams] = None,
+        nic_config: Optional[NICConfig] = None,
+        seed: int = 1998,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        base = params or DEFAULT_PARAMS
+        width, height = _mesh_for(num_nodes)
+        if base.mesh_width * base.mesh_height < num_nodes:
+            base = base.with_overrides(mesh_width=width, mesh_height=height)
+        self.params = base
+        self.nic_config = nic_config or DEFAULT_NIC_CONFIG
+        self.num_nodes = num_nodes
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        from ..sim.trace import Tracer
+
+        #: Event tracer (disabled by default): machine.tracer.enable().
+        self.tracer = Tracer(lambda: self.sim.now)
+        self.stats.tracer = self.tracer
+        self.rng = DeterministicRandom(seed)
+        self.backplane = Backplane(self.sim, self.params, self.stats)
+        self.nodes: List[Node] = [
+            Node(self.sim, i, self.params, self.nic_config, self.backplane, self.stats)
+            for i in range(num_nodes)
+        ]
+        #: Machine-wide name registries used by the communication libraries
+        #: for connection setup (out-of-band in the real system).
+        self.registries: Dict[str, Dict] = {}
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            node.start()
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def create_process(self, node_id: int) -> NodeProcess:
+        return self.nodes[node_id].create_process()
+
+    def registry(self, name: str) -> Dict:
+        """A machine-wide dictionary namespace (e.g. exported buffers)."""
+        return self.registries.setdefault(name, {})
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

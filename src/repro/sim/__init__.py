@@ -1,0 +1,34 @@
+"""Discrete-event simulation core: engine, processes, resources, stats."""
+
+from .engine import Event, Interrupted, SimProcess, SimulationError, Simulator, Timeout
+from .resources import Queue, Resource, Signal
+from .rng import DeterministicRandom, derive_seed
+from .trace import TraceEvent, Tracer
+from .stats import (
+    BREAKDOWN_CATEGORIES,
+    Accumulator,
+    Counter,
+    StatsRegistry,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "Event",
+    "Timeout",
+    "Interrupted",
+    "SimulationError",
+    "Resource",
+    "Queue",
+    "Signal",
+    "DeterministicRandom",
+    "derive_seed",
+    "StatsRegistry",
+    "Counter",
+    "Accumulator",
+    "TimeBreakdown",
+    "BREAKDOWN_CATEGORIES",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,284 @@
+"""Discrete-event simulation engine.
+
+The engine drives the whole SHRIMP reproduction: nodes, buses, NICs, the
+mesh backplane and application processes are all simulated processes running
+against a single virtual clock measured in **microseconds**.
+
+Processes are plain Python generators.  A process yields *requests* to the
+simulator and is resumed when the request completes:
+
+``yield Timeout(dt)``
+    resume ``dt`` microseconds later.
+
+``yield event`` (an :class:`Event`)
+    resume when the event is triggered; the ``yield`` evaluates to the
+    event's value.
+
+``yield process`` (a :class:`SimProcess`)
+    resume when the child process finishes; the ``yield`` evaluates to the
+    child's return value.
+
+Processes may delegate to sub-generators with ``yield from``, which is the
+idiom used pervasively by the higher layers (e.g. a VMMC send delegates to
+the NIC which delegates to the bus).
+
+The engine is deterministic: ties in the event queue are broken by insertion
+order, and the library never consults wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "Event",
+    "Timeout",
+    "Interrupted",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation primitives."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Request object: resume the yielding process after ``delay``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts untriggered.  ``succeed(value)`` wakes every waiter and
+    makes the event "triggered"; any process that yields a triggered event
+    resumes immediately with the stored value.  Events are the basic
+    synchronization primitive used for message arrival, interrupt delivery
+    and condition signalling.
+    """
+
+    __slots__ = ("sim", "_value", "_triggered", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._triggered = False
+        self._waiters: list[SimProcess] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule_resume(proc, value)
+        return self
+
+    def _add_waiter(self, proc: "SimProcess") -> None:
+        if self._triggered:
+            self.sim._schedule_resume(proc, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "SimProcess") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class SimProcess:
+    """A running simulation process wrapping a generator.
+
+    Other processes may ``yield`` a :class:`SimProcess` to join it.  The
+    generator's ``return`` value becomes the join result.
+    """
+
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "done",
+        "result",
+        "_joiners",
+        "_waiting_on",
+        "_resume_scheduled",
+    )
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self._joiners: list[SimProcess] = []
+        self._waiting_on: Optional[Event] = None
+        self._resume_scheduled = False
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt this process if it is waiting; no-op when done."""
+        if self.done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule_throw(self, Interrupted(cause))
+
+    def _add_joiner(self, proc: "SimProcess") -> None:
+        if self.done:
+            self.sim._schedule_resume(proc, self.result)
+        else:
+            self._joiners.append(proc)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for proc in joiners:
+            self.sim._schedule_resume(proc, result)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"SimProcess({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, action) entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._stopped = False
+
+    # -- scheduling primitives ------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` microseconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def spawn(self, gen: Generator, name: str = "") -> SimProcess:
+        """Start a new process from a generator; it begins at the current time."""
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        proc = SimProcess(self, gen, name)
+        self._schedule_resume(proc, None)
+        return proc
+
+    # -- internal resume machinery --------------------------------------
+
+    def _schedule_resume(self, proc: SimProcess, value: Any) -> None:
+        proc._waiting_on = None
+        self.schedule(0.0, lambda: self._step(proc, value, None))
+
+    def _schedule_throw(self, proc: SimProcess, exc: BaseException) -> None:
+        self.schedule(0.0, lambda: self._step(proc, None, exc))
+
+    def _step(self, proc: SimProcess, value: Any, exc: Optional[BaseException]) -> None:
+        if proc.done:
+            return
+        try:
+            if exc is not None:
+                request = proc.gen.throw(exc)
+            else:
+                request = proc.gen.send(value)
+        except StopIteration as stop:
+            proc._finish(stop.value)
+            return
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: SimProcess, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self.schedule(request.delay, lambda: self._step(proc, request.value, None))
+        elif isinstance(request, Event):
+            proc._waiting_on = request
+            request._add_waiter(proc)
+        elif isinstance(request, SimProcess):
+            request._add_joiner(proc)
+        else:
+            exc = SimulationError(
+                f"process {proc.name!r} yielded unsupported request: {request!r}"
+            )
+            self._step(proc, None, exc)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        self._stopped = False
+        while self._queue and not self._stopped:
+            time, _seq, fn = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = time
+            fn()
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn a process, run to completion, and return its result."""
+        proc = self.spawn(gen, name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock: "
+                "event queue drained with the process still waiting)"
+            )
+        return proc.result
+
+    def stop(self) -> None:
+        """Stop the run loop after the current action."""
+        self._stopped = True

@@ -1,0 +1,161 @@
+"""Synchronization and queueing primitives for simulation processes.
+
+All blocking operations are generator methods used with ``yield from``::
+
+    yield from bus.acquire()
+    try:
+        ...
+    finally:
+        bus.release()
+
+or, for queues::
+
+    item = yield from mailbox.get()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Queue", "Signal"]
+
+
+class Resource:
+    """A counted resource with FIFO granting (capacity >= 1).
+
+    Used for the memory bus, DMA engines and network links, where at most
+    ``capacity`` holders may proceed and the rest queue in arrival order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Cumulative busy statistics (single-capacity resources only).
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Generator:
+        """Block until a unit of the resource is available, then hold it."""
+        if self._in_use < self.capacity:
+            self._grant()
+            return
+        gate = self.sim.event(f"{self.name}.acquire")
+        self._waiters.append(gate)
+        yield gate
+
+    def try_acquire(self) -> bool:
+        """Acquire without waiting; returns False when fully in use."""
+        if self._in_use < self.capacity:
+            self._grant()
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            # Hand the unit straight to the next waiter.
+            self._waiters.popleft().succeed()
+            self._in_use += 1
+        elif self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def _grant(self) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the resource was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy / elapsed if elapsed > 0 else 0.0
+
+
+class Queue:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    ``put`` never blocks (capacity limits in the modeled hardware, e.g. the
+    NIC outgoing FIFO, are enforced by the hardware models themselves, which
+    need byte-granularity accounting rather than item counts).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """Block until an item is available and return it."""
+        if self._items:
+            return self._items.popleft()
+        gate = self.sim.event(f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def try_get(self) -> Any:
+        """Return the next item or None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else None
+
+
+class Signal:
+    """A reusable broadcast condition.
+
+    ``wait()`` blocks until the next ``fire()``; every ``fire`` wakes all
+    current waiters and resets.  Used for "FIFO drained below threshold",
+    "new message arrived" style conditions where a fresh event per round is
+    wanted.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._event = sim.event(name)
+        self.fire_count = 0
+
+    def wait(self) -> Generator:
+        event = self._event
+        value = yield event
+        return value
+
+    def fire(self, value: Any = None) -> None:
+        self.fire_count += 1
+        event, self._event = self._event, self.sim.event(self.name)
+        event.succeed(value)

@@ -1,0 +1,93 @@
+"""Event tracing: a lightweight, queryable record of what the machine did.
+
+Any component can emit trace events through a :class:`Tracer`; tracing is
+off by default and costs one predicate check when disabled.  Events carry
+the virtual timestamp, a category (e.g. ``"nic.tx"``, ``"svm.fault"``), a
+node id and a free-form description, and can be filtered, counted, sliced
+by time window, or dumped as text — the debugging workflow for protocol
+work on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    node: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.3f} us] n{self.node:<3d} {self.category:<16s} {self.message}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records while enabled."""
+
+    def __init__(self, clock: Callable[[], float], limit: int = 100_000):
+        self._clock = clock
+        self.limit = limit
+        self.enabled = False
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._category_filter: Optional[Callable[[str], bool]] = None
+
+    # -- control -----------------------------------------------------------
+
+    def enable(self, categories: Optional[Iterable[str]] = None) -> None:
+        """Start tracing; optionally restrict to category prefixes."""
+        self.enabled = True
+        if categories is None:
+            self._category_filter = None
+        else:
+            prefixes = tuple(categories)
+            self._category_filter = lambda c: c.startswith(prefixes)
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, category: str, node: int, message: str) -> None:
+        if not self.enabled:
+            return
+        if self._category_filter is not None and not self._category_filter(category):
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self._clock(), category, node, message))
+
+    # -- queries ----------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Events matching a category prefix, node and time window."""
+        return [
+            e
+            for e in self.events
+            if (category is None or e.category.startswith(category))
+            and (node is None or e.node == node)
+            and since <= e.time <= until
+        ]
+
+    def count(self, category: Optional[str] = None) -> int:
+        return len(self.select(category))
+
+    def dump(self, **kwargs) -> str:
+        return "\n".join(str(e) for e in self.select(**kwargs))

@@ -1,0 +1,94 @@
+"""Regenerate the full evaluation from the command line.
+
+Usage::
+
+    python -m repro.study [table1|table2|table3|table4|figure3|figure4|
+                           combining|fifo|queueing|micro|all] [--nodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    combining_study,
+    default_runner,
+    figure3,
+    figure4_du_au,
+    figure4_svm,
+    fifo_study,
+    format_combining_study,
+    format_fifo_study,
+    format_figure3,
+    format_figure4_du_au,
+    format_figure4_svm,
+    format_queueing_study,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    queueing_study,
+    run_microbenchmarks,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description="Regenerate the SHRIMP design-study tables and figures.",
+    )
+    parser.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=[
+            "table1", "table2", "table3", "table4", "figure3", "figure4",
+            "combining", "fifo", "queueing", "micro", "all",
+        ],
+    )
+    parser.add_argument("--nodes", type=int, default=16)
+    args = parser.parse_args(argv)
+    runner = default_runner
+    emit = []
+
+    if args.what in ("micro", "all"):
+        micro = run_microbenchmarks()
+        emit.append(
+            "Microbenchmarks (paper: DU 6 us, AU 3.71 us, UDMA < 2 us):\n"
+            f"  DU one-word latency : {micro.du_word_latency_us:6.2f} us\n"
+            f"  AU one-word latency : {micro.au_word_latency_us:6.2f} us\n"
+            f"  DU send overhead    : {micro.du_send_overhead_us:6.2f} us\n"
+            f"  DU bulk bandwidth   : {micro.du_bulk_bandwidth_mbs:6.1f} MB/s\n"
+            f"  AU bulk bandwidth   : {micro.au_bulk_bandwidth_mbs:6.1f} MB/s"
+        )
+    if args.what in ("table1", "all"):
+        emit.append(format_table1(table1(runner)))
+    if args.what in ("figure3", "all"):
+        emit.append(format_figure3(figure3(runner)))
+    if args.what in ("figure4", "all"):
+        emit.append(format_figure4_svm(figure4_svm(runner, args.nodes)))
+        emit.append(format_figure4_du_au(figure4_du_au(runner, args.nodes)))
+    if args.what in ("table2", "all"):
+        emit.append(format_table2(table2(runner, args.nodes)))
+    if args.what in ("table3", "all"):
+        emit.append(format_table3(table3(runner, args.nodes)))
+    if args.what in ("table4", "all"):
+        emit.append(format_table4(table4(runner, args.nodes)))
+    if args.what in ("combining", "all"):
+        emit.append(format_combining_study(combining_study(runner, args.nodes)))
+    if args.what in ("fifo", "all"):
+        emit.append(format_fifo_study(fifo_study(runner, args.nodes)))
+    if args.what in ("queueing", "all"):
+        emit.append(format_queueing_study(queueing_study(runner, args.nodes)))
+
+    print("\n\n".join(emit))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Named experiment configurations — the paper's what-if firmware states.
+
+Each configuration is a (machine parameter, NIC knob) override pair with a
+stable name, so tables can be expressed as "app X under config Y vs
+baseline".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..hardware import DEFAULT_PARAMS, MachineParams
+from ..nic import NICConfig
+
+__all__ = ["ExperimentConfig", "CONFIGS", "config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A named machine/NIC configuration."""
+
+    name: str
+    description: str
+    nic_overrides: tuple = ()
+    param_overrides: tuple = ()
+
+    def nic_config(self) -> NICConfig:
+        return NICConfig(**dict(self.nic_overrides))
+
+    def params(self, base: Optional[MachineParams] = None) -> MachineParams:
+        base = base or DEFAULT_PARAMS
+        overrides = dict(self.param_overrides)
+        return base.with_overrides(**overrides) if overrides else base
+
+
+def _cfg(name: str, description: str, nic: Optional[Dict[str, Any]] = None,
+         params: Optional[Dict[str, Any]] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        name,
+        description,
+        tuple(sorted((nic or {}).items())),
+        tuple(sorted((params or {}).items())),
+    )
+
+
+CONFIGS: Dict[str, ExperimentConfig] = {
+    "baseline": _cfg(
+        "baseline",
+        "The production SHRIMP design.",
+    ),
+    "kernel_send": _cfg(
+        "kernel_send",
+        "Section 4.3 / Table 2: no user-level DMA — a system call before "
+        "every message send.",
+        nic={"user_level_dma": False},
+    ),
+    "interrupt_all": _cfg(
+        "interrupt_all",
+        "Section 4.4 / Table 4: every arriving message fires a null-handler "
+        "interrupt.",
+        nic={"interrupt_every_message": True},
+    ),
+    "no_combining": _cfg(
+        "no_combining",
+        "Section 4.5.1: automatic-update combining disabled — a packet per "
+        "store.",
+        nic={"au_combining": False},
+    ),
+    "fifo_1k": _cfg(
+        "fifo_1k",
+        "Section 4.5.2: outgoing FIFO artificially limited to 1 Kbyte.",
+        nic={"fifo_capacity": 1024},
+    ),
+    "fifo_32k": _cfg(
+        "fifo_32k",
+        "Section 4.5.2: the normal 32 Kbyte outgoing FIFO.",
+        nic={"fifo_capacity": 32 * 1024},
+    ),
+    "du_queue_2": _cfg(
+        "du_queue_2",
+        "Section 4.5.3: a 2-deep deliberate-update request queue.",
+        nic={"du_queue_depth": 2},
+    ),
+    "no_au": _cfg(
+        "no_au",
+        "Section 4.2 framing: a block-transfer-only NIC with no automatic "
+        "update support at all.",
+        nic={"automatic_update": False},
+    ),
+}
+
+
+def config(name: str) -> ExperimentConfig:
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment config {name!r}; choose from {sorted(CONFIGS)}"
+        ) from None

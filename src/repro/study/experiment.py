@@ -1,0 +1,90 @@
+"""The experiment runner: (application, configuration, nodes) -> result.
+
+Runs are memoized for the lifetime of the process: every table and figure
+shares the same baseline runs, so regenerating the full evaluation does
+each simulation exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..apps import AppResult, run_app
+from .configs import ExperimentConfig, config
+from .suite import AppSpec, spec
+
+__all__ = ["ExperimentRunner", "default_runner"]
+
+
+class ExperimentRunner:
+    def __init__(self, seed: int = 1998):
+        self.seed = seed
+        self._cache: Dict[Tuple, AppResult] = {}
+
+    def run(
+        self,
+        app_name: str,
+        nprocs: int,
+        config_name: str = "baseline",
+        mode: Optional[str] = None,
+        protocol: Optional[str] = None,
+    ) -> AppResult:
+        """Run one experiment (cached).
+
+        ``mode`` defaults to the application's better variant (what
+        Figure 3 plots); ``protocol`` overrides the SVM protocol for the
+        Figure 4 comparison.
+        """
+        app_spec = spec(app_name)
+        mode = mode or app_spec.best_mode
+        key = (app_name, nprocs, config_name, mode, protocol, self.seed)
+        if key in self._cache:
+            return self._cache[key]
+        experiment = config(config_name)
+        app = self._build(app_spec, mode, protocol)
+        result = run_app(
+            app,
+            nprocs,
+            params=experiment.params(app_spec.params),
+            nic_config=experiment.nic_config(),
+            seed=self.seed,
+        )
+        self._cache[key] = result
+        return result
+
+    def _build(self, app_spec: AppSpec, mode: str, protocol: Optional[str]):
+        if protocol is not None:
+            app = app_spec.factory("au" if protocol != "hlrc" else "du")
+            if not hasattr(app, "protocol_name"):
+                raise ValueError(
+                    f"{app_spec.name} is not an SVM application; no protocol "
+                    "override possible"
+                )
+            app.protocol_name = protocol
+            return app
+        return app_spec.factory(mode)
+
+    def slowdown_percent(
+        self,
+        app_name: str,
+        nprocs: int,
+        config_name: str,
+        mode: Optional[str] = None,
+    ) -> float:
+        """Execution-time increase of ``config_name`` over baseline, in %."""
+        base = self.run(app_name, nprocs, "baseline", mode)
+        what_if = self.run(app_name, nprocs, config_name, mode)
+        return (what_if.elapsed_us / base.elapsed_us - 1.0) * 100.0
+
+    def speedup(
+        self, app_name: str, nprocs: int, mode: Optional[str] = None,
+        protocol: Optional[str] = None,
+    ) -> float:
+        """Speedup over the single-node run of the same variant."""
+        seq = self.run(app_name, 1, "baseline", mode, protocol)
+        par = self.run(app_name, nprocs, "baseline", mode, protocol)
+        return seq.elapsed_us / par.elapsed_us
+
+
+#: A process-wide shared runner so pytest benches reuse each other's runs.
+default_runner = ExperimentRunner()

@@ -1,0 +1,47 @@
+"""Plain-text rendering of tables and figures (for benches and the CLI)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render an ASCII table with a title line."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, series: dict) -> str:
+    """Render named (x, y) series as aligned columns (a textual figure)."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            lookup = dict(series[name])
+            row.append(lookup.get(x, ""))
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

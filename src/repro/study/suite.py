@@ -1,0 +1,133 @@
+"""The standard application instances used throughout the evaluation.
+
+Problem sizes are the scaled-down equivalents of Table 1 (see DESIGN.md
+section 6): the algorithms and sharing patterns are the paper's; the sizes
+fit a Python discrete-event simulation.  SVM applications run with 1 Kbyte
+pages — the page-granularity scaling knob that keeps the
+pages-per-data-structure ratio of the original 4 Kbyte-page, megabyte-array
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..hardware import DEFAULT_PARAMS, MachineParams
+from ..apps import (
+    Application,
+    BarnesNX,
+    BarnesSVM,
+    DFSSockets,
+    OceanNX,
+    OceanSVM,
+    RadixSVM,
+    RadixVMMC,
+    RenderSockets,
+)
+
+__all__ = ["AppSpec", "SUITE", "spec", "SVM_PARAMS"]
+
+#: SVM experiments use 1 KB pages (granularity scaling; DESIGN.md S6).
+SVM_PARAMS = DEFAULT_PARAMS.with_overrides(page_size=1024)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """How to build one Table 1 application at the standard scale."""
+
+    name: str
+    api: str
+    problem_size: str
+    paper_seq_time_s: float
+    factory: Callable[[str], Application]
+    params: MachineParams = DEFAULT_PARAMS
+    #: The better of AU/DU for this app (the mode Figure 3 plots).
+    best_mode: str = "au"
+    #: Does the app support both AU and DU variants?
+    has_modes: bool = True
+
+
+SUITE: Dict[str, AppSpec] = {
+    "Barnes-SVM": AppSpec(
+        name="Barnes-SVM",
+        api="SVM",
+        problem_size="256 bodies, 3 steps (paper: 16K bodies)",
+        paper_seq_time_s=128.3,
+        factory=lambda mode: BarnesSVM(mode=mode, n_bodies=256, steps=3),
+        params=SVM_PARAMS,
+        best_mode="au",
+    ),
+    "Ocean-SVM": AppSpec(
+        name="Ocean-SVM",
+        api="SVM",
+        problem_size="66x66 grid, 8 sweeps (paper: 514x514)",
+        paper_seq_time_s=246.6,
+        factory=lambda mode: OceanSVM(mode=mode, n=66, sweeps=8),
+        params=SVM_PARAMS,
+        best_mode="au",
+    ),
+    "Radix-SVM": AppSpec(
+        name="Radix-SVM",
+        api="SVM",
+        problem_size="8K keys, 3 passes (paper: 2M keys, 3 iters)",
+        paper_seq_time_s=14.3,
+        factory=lambda mode: RadixSVM(
+            mode=mode, n_keys=8192, radix=16, max_key=4096
+        ),
+        params=SVM_PARAMS,
+        best_mode="au",
+    ),
+    "Radix-VMMC": AppSpec(
+        name="Radix-VMMC",
+        api="VMMC",
+        problem_size="16K keys (paper: 2M keys, 3 iters)",
+        paper_seq_time_s=10.9,
+        factory=lambda mode: RadixVMMC(mode=mode, n_keys=16384, max_key=4096),
+        best_mode="au",
+    ),
+    "Barnes-NX": AppSpec(
+        name="Barnes-NX",
+        api="NX",
+        problem_size="256 bodies, 3 steps (paper: 4K bodies, 20 iters)",
+        paper_seq_time_s=116.9,
+        factory=lambda mode: BarnesNX(mode=mode, n_bodies=256, steps=3),
+        best_mode="du",
+    ),
+    "Ocean-NX": AppSpec(
+        name="Ocean-NX",
+        api="NX",
+        problem_size="66x66 grid, 6 sweeps (paper: 258x258)",
+        paper_seq_time_s=float("nan"),  # paper: does not run on 1 node
+        factory=lambda mode: OceanNX(mode=mode, n=66, sweeps=6),
+        best_mode="au",
+    ),
+    "DFS-sockets": AppSpec(
+        name="DFS-sockets",
+        api="Sockets",
+        problem_size="P/2 clients, 6 files x 48 x 1KB blocks",
+        paper_seq_time_s=6.9,
+        factory=lambda mode: DFSSockets(
+            mode=mode, n_files=6, blocks_per_file=48, block_size=1024,
+            reads_per_client=64, cache_blocks=12,
+        ),
+        best_mode="du",
+    ),
+    "Render-sockets": AppSpec(
+        name="Render-sockets",
+        api="Sockets",
+        problem_size="16^3 volume, 32^2 image (paper: 200^3-class)",
+        paper_seq_time_s=5.9,
+        factory=lambda mode: RenderSockets(mode=mode),
+        best_mode="du",
+    ),
+}
+
+
+def spec(name: str) -> AppSpec:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(SUITE)}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Shared virtual memory: HLRC, HLRC-AU and AURC protocols."""
+
+from typing import Dict, Type
+
+from .aurc import AURCNode, AURCProtocol
+from .board import IntervalRecord, NoticeBoard
+from .diffs import apply_diff, compute_diff, decode_diff, diff_wire_bytes, encode_diff
+from .eager import EagerNode, EagerProtocol
+from .fabric import SVMFabric, SVMLink
+from .hlrc import HLRCNode, HLRCProtocol
+from .hlrc_au import HLRCAUNode, HLRCAUProtocol
+from .protocol import PageState, SharedRegion, SVMNode, SVMProtocol
+from .sharedmem import SharedArray
+
+__all__ = [
+    "SVMProtocol",
+    "SVMNode",
+    "SharedRegion",
+    "PageState",
+    "HLRCProtocol",
+    "HLRCAUProtocol",
+    "AURCProtocol",
+    "HLRCNode",
+    "HLRCAUNode",
+    "AURCNode",
+    "EagerProtocol",
+    "EagerNode",
+    "SharedArray",
+    "NoticeBoard",
+    "IntervalRecord",
+    "SVMFabric",
+    "SVMLink",
+    "compute_diff",
+    "apply_diff",
+    "encode_diff",
+    "decode_diff",
+    "diff_wire_bytes",
+    "PROTOCOLS",
+    "make_protocol",
+]
+
+#: Protocol name -> class, for experiment configuration.
+PROTOCOLS: Dict[str, Type[SVMProtocol]] = {
+    "hlrc": HLRCProtocol,
+    "hlrc-au": HLRCAUProtocol,
+    "aurc": AURCProtocol,
+    "eager": EagerProtocol,
+}
+
+
+def make_protocol(name: str, runtime, nprocs: int, **kwargs) -> SVMProtocol:
+    """Instantiate an SVM protocol by name ('hlrc', 'hlrc-au', 'aurc')."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SVM protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+    return cls(runtime, nprocs, **kwargs)

@@ -1,0 +1,76 @@
+"""HLRC: home-based lazy release consistency over deliberate update only.
+
+The baseline protocol of Figure 4 (paper reference [47]): on a write fault
+the node twins the page; at release it computes diffs against the twins and
+sends them to each page's home with explicit deliberate-update messages;
+the home applies them on its CPU and acknowledges.  Diffing and applying
+are the overhead AURC eliminates.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Tuple
+
+from .diffs import compute_diff, diff_wire_bytes, encode_diff
+from .protocol import REQ_DIFF, REP_ACK, SVMNode, SVMProtocol, _DIFF_HDR
+
+__all__ = ["HLRCProtocol", "HLRCNode"]
+
+#: CPU cycles per page word for the twin-vs-page comparison loop.
+DIFF_CYCLES_PER_WORD = 3.0
+
+
+class HLRCNode(SVMNode):
+    def _on_write_fault(self, region, page_index, gpage) -> Generator:
+        """Twin the page (skip pages homed here: their copy is the master,
+        so there is never a diff to produce)."""
+        if self.protocol.home_of(gpage) == self.index:
+            return
+        page = self._page_bytes(region, page_index)
+        self.twins[gpage] = page
+        yield from self.endpoint.node.cpu.busy(
+            len(page) / self.params.memcpy_bandwidth, "overhead"
+        )
+        self.stats.count("svm.twins")
+
+    def _flush_dirty(self, dirty: List[int]) -> Generator:
+        """Compute and ship diffs; wait for every home's acknowledgment."""
+        outstanding: List[Tuple[int, int]] = []
+        for gpage in dirty:
+            home = self.protocol.home_of(gpage)
+            if home == self.index:
+                continue  # writes landed directly in the master copy
+            region = self.protocol.region_of_gpage(gpage)
+            page_index = gpage - region.first_gpage
+            twin = self.twins[gpage]
+            current = self._page_bytes(region, page_index)
+            yield from self.endpoint.node.cpu.busy(
+                self.params.cycles(
+                    DIFF_CYCLES_PER_WORD * (region.page_size // 4)
+                ),
+                "overhead",
+            )
+            diff = compute_diff(twin, current)
+            self.stats.count("svm.diffs_computed")
+            self.stats.count("svm.diff_bytes", diff_wire_bytes(diff))
+            if not diff:
+                continue
+            req_id = self._new_req()
+            payload = _DIFF_HDR.pack(req_id, gpage, diff_wire_bytes(diff))
+            yield from self.link.send_request(
+                home, REQ_DIFF, payload + encode_diff(diff)
+            )
+            outstanding.append((home, req_id))
+        # Collect acks so the homes are current before the lock/barrier
+        # moves on (release semantics).
+        for home, req_id in outstanding:
+            yield from self._await_reply(home, REP_ACK, req_id)
+
+
+class HLRCProtocol(SVMProtocol):
+    name = "hlrc"
+    uses_au_bindings = False
+
+    def make_node(self, index, endpoint) -> HLRCNode:
+        return HLRCNode(self, index, endpoint)

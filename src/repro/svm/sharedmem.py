@@ -1,0 +1,106 @@
+"""Typed shared arrays over SVM regions.
+
+The applications program against :class:`SharedArray` — a flat array of
+int32 or float64 living in a shared region — instead of raw byte offsets.
+All element accesses go through the owning :class:`~repro.svm.SVMNode`, so
+page faults, twins, automatic updates and invalidations happen exactly
+where the raw protocol dictates.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Sequence
+
+from .protocol import SVMNode, SharedRegion
+
+__all__ = ["SharedArray"]
+
+_FORMATS = {"i4": struct.Struct("<i"), "f8": struct.Struct("<d")}
+
+
+class SharedArray:
+    """A typed view of (part of) a shared region on one node."""
+
+    def __init__(
+        self,
+        svm: SVMNode,
+        region: SharedRegion,
+        dtype: str = "i4",
+        base_offset: int = 0,
+        length: int = 0,
+    ):
+        if dtype not in _FORMATS:
+            raise ValueError(f"unsupported dtype {dtype!r} (use 'i4' or 'f8')")
+        self.svm = svm
+        self.region = region
+        self.dtype = dtype
+        self.itemsize = _FORMATS[dtype].size
+        self.base_offset = base_offset
+        max_items = (region.nbytes - base_offset) // self.itemsize
+        self.length = length or max_items
+        if self.length > max_items:
+            raise ValueError("array does not fit in the region")
+        self._struct = _FORMATS[dtype]
+
+    @classmethod
+    def create(
+        cls,
+        svm: SVMNode,
+        name: str,
+        length: int,
+        dtype: str = "i4",
+    ) -> Generator:
+        """Collective: create a region sized for ``length`` elements."""
+        if dtype not in _FORMATS:
+            raise ValueError(f"unsupported dtype {dtype!r} (use 'i4' or 'f8')")
+        itemsize = _FORMATS[dtype].size
+        region = yield from svm.create_region(name, length * itemsize)
+        return cls(svm, region, dtype, 0, length)
+
+    def _offset(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        return self.base_offset + index * self.itemsize
+
+    # -- element access ---------------------------------------------------
+
+    def get(self, index: int) -> Generator:
+        raw = yield from self.svm.read(self.region, self._offset(index), self.itemsize)
+        return self._struct.unpack(raw)[0]
+
+    def set(self, index: int, value) -> Generator:
+        yield from self.svm.write(
+            self.region, self._offset(index), self._struct.pack(value)
+        )
+
+    # -- range access (bulk, far fewer simulation events) -------------------
+
+    def get_range(self, start: int, count: int) -> Generator:
+        if count == 0:
+            return []
+        end_off = self._offset(start + count - 1) + self.itemsize
+        raw = yield from self.svm.read(
+            self.region, self._offset(start), end_off - self._offset(start)
+        )
+        fmt = "<" + ("i" if self.dtype == "i4" else "d") * count
+        return list(struct.unpack(fmt, raw))
+
+    def set_range(self, start: int, values: Sequence) -> Generator:
+        if not values:
+            return
+        self._offset(start)
+        self._offset(start + len(values) - 1)
+        fmt = "<" + ("i" if self.dtype == "i4" else "d") * len(values)
+        yield from self.svm.write(
+            self.region, self._offset(start), struct.pack(fmt, *values)
+        )
+
+    def init_global(self, values: Sequence) -> None:
+        """Untimed initialization of the whole array on every node."""
+        if len(values) != self.length:
+            raise ValueError("init_global needs exactly length values")
+        fmt = "<" + ("i" if self.dtype == "i4" else "d") * len(values)
+        self.svm.protocol.global_init(
+            self.region.name, self.base_offset, struct.pack(fmt, *values)
+        )

@@ -1,0 +1,19 @@
+"""Virtual Memory-Mapped Communication (VMMC): the paper's core model."""
+
+from .api import AUBinding, VMMCEndpoint, VMMCRuntime
+from .buffers import ImportedBuffer, ReceiveBuffer
+from .errors import BindingError, ImportError_, PermissionError_, VMMCError
+from .notifications import NotificationDispatcher
+
+__all__ = [
+    "VMMCRuntime",
+    "VMMCEndpoint",
+    "AUBinding",
+    "ReceiveBuffer",
+    "ImportedBuffer",
+    "NotificationDispatcher",
+    "VMMCError",
+    "ImportError_",
+    "PermissionError_",
+    "BindingError",
+]

@@ -1,0 +1,19 @@
+"""VMMC error types."""
+
+__all__ = ["VMMCError", "ImportError_", "PermissionError_", "BindingError"]
+
+
+class VMMCError(RuntimeError):
+    """Base class for VMMC API misuse."""
+
+
+class ImportError_(VMMCError):
+    """Import failed: unknown buffer or permission denied."""
+
+
+class PermissionError_(VMMCError):
+    """The importing process lacks permission on the buffer."""
+
+
+class BindingError(VMMCError):
+    """Invalid automatic-update binding (alignment, overlap, size)."""

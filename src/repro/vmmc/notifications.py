@@ -1,0 +1,88 @@
+"""User-level notifications (paper section 2.2, "Notifications").
+
+A process that exports a buffer may enable notifications: message arrival
+then causes a control transfer to a user-level handler, with semantics like
+Unix signals — no delivery-time guarantee, no protection of the received
+data from overwrite, but queueing of multiple notifications.  Processes can
+block and unblock notifications globally (not per buffer).
+
+The model runs each endpoint's handlers in a dedicated dispatcher process:
+the kernel's system-level handler enqueues (buffer, packet) pairs and the
+dispatcher invokes the registered user handler for each, in order.  Handler
+functions may be plain callables or generator functions (which may consume
+simulated time and communicate — the SVM protocols rely on this).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Generator, Optional, Tuple
+
+from ..sim import Queue, Signal, Simulator, StatsRegistry
+from ..network import Packet
+from .buffers import ReceiveBuffer
+
+__all__ = ["NotificationDispatcher"]
+
+Handler = Callable[[ReceiveBuffer, Packet], Optional[Generator]]
+
+
+class NotificationDispatcher:
+    """Queues and dispatches notifications for one endpoint."""
+
+    def __init__(self, sim: Simulator, node_id: int, pid: int, stats: StatsRegistry):
+        self.sim = sim
+        self.node_id = node_id
+        self.pid = pid
+        self.stats = stats
+        self._queue: Queue = Queue(sim, f"notif{node_id}.{pid}")
+        self._handler: Optional[Handler] = None
+        self._blocked = False
+        self._unblocked = Signal(sim, f"notif{node_id}.{pid}.unblock")
+        self.delivered = 0
+        self._process = None
+
+    def set_handler(self, handler: Handler) -> None:
+        self._handler = handler
+        if self._process is None:
+            self._process = self.sim.spawn(
+                self._dispatch_loop(), f"notif-dispatch{self.node_id}.{self.pid}"
+            )
+
+    # -- kernel side --------------------------------------------------------
+
+    def enqueue(self, buffer: ReceiveBuffer, packet: Packet) -> None:
+        """Called from the kernel's system-level handler."""
+        self.stats.count("vmmc.notifications")
+        self._queue.put((buffer, packet))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- user side ----------------------------------------------------------
+
+    def block(self) -> None:
+        """Suspend user-level delivery (notifications keep queueing)."""
+        self._blocked = True
+
+    def unblock(self) -> None:
+        if self._blocked:
+            self._blocked = False
+            self._unblocked.fire()
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            buffer, packet = yield from self._queue.get()
+            while self._blocked:
+                yield from self._unblocked.wait()
+            if self._handler is None:
+                continue
+            result = self._handler(buffer, packet)
+            if inspect.isgenerator(result):
+                yield from result
+            self.delivered += 1

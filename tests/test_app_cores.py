@@ -1,0 +1,251 @@
+"""Unit/property tests for the application algorithm cores."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import DeterministicRandom
+from repro.apps.barnes import (
+    Body,
+    advance,
+    build_octree,
+    compute_force,
+    make_bodies,
+    sequential_steps,
+)
+from repro.apps.dfs import block_content, block_home, _LRUCache
+from repro.apps.ocean import (
+    make_grid,
+    relax_row,
+    row_partition,
+    sequential_solve,
+)
+from repro.apps.radix import (
+    digit_of,
+    local_histogram,
+    make_keys,
+    passes_needed,
+    radix_sort,
+)
+from repro.apps.render import make_volume, render_tile
+
+
+# ----------------------------------------------------------------- radix --
+
+def test_passes_needed():
+    assert passes_needed(16, 16) == 1
+    assert passes_needed(17, 16) == 2
+    assert passes_needed(4096, 16) == 3
+
+
+def test_digit_extraction():
+    assert digit_of(0x3A7, 16, 0) == 0x7
+    assert digit_of(0x3A7, 16, 1) == 0xA
+    assert digit_of(0x3A7, 16, 2) == 0x3
+
+
+def test_local_histogram_counts():
+    keys = [0, 1, 1, 2, 15]
+    hist = local_histogram(keys, 16, 0)
+    assert hist[0] == 1 and hist[1] == 2 and hist[2] == 1 and hist[15] == 1
+    assert sum(hist) == len(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(0, 4095), max_size=300),
+       radix=st.sampled_from([2, 4, 16, 64]))
+def test_radix_sort_matches_sorted(keys, radix):
+    assert radix_sort(keys, radix, 4096) == sorted(keys)
+
+
+def test_make_keys_deterministic():
+    a = make_keys(DeterministicRandom(5), 50, 100)
+    b = make_keys(DeterministicRandom(5), 50, 100)
+    assert a == b
+    assert all(0 <= k < 100 for k in a)
+
+
+# ----------------------------------------------------------------- ocean --
+
+def test_grid_boundaries_fixed():
+    grid = make_grid(10, DeterministicRandom(1))
+    assert all(v == 1.0 for v in grid[0][1:-1])
+    assert all(v == -1.0 for v in grid[9][1:-1])
+    assert all(row[0] == 0.5 for row in grid[1:-1])
+    assert all(row[-1] == -0.5 for row in grid[1:-1])
+
+
+def test_relax_row_keeps_edges():
+    row = [5.0, 1.0, 2.0, 5.0]
+    out = relax_row([0.0] * 4, row, [0.0] * 4)
+    assert out[0] == 5.0 and out[-1] == 5.0
+    assert out[1] != row[1]
+
+
+def test_relax_converges_toward_neighbor_average():
+    above = [0.0, 4.0, 0.0]
+    below = [0.0, 4.0, 0.0]
+    row = [4.0, 0.0, 4.0]
+    out = relax_row(above, row, below)
+    assert 0.0 < out[1] <= 4.0
+
+
+def test_sequential_solve_preserves_boundary_and_converges():
+    grid = make_grid(12, DeterministicRandom(3))
+    result = sequential_solve(grid, 50)
+    assert result[0] == grid[0]
+    # Interior must be bounded by boundary extremes.
+    flat = [v for row in result[1:-1] for v in row[1:-1]]
+    assert all(-1.0 <= v <= 1.0 for v in flat)
+
+
+def test_row_partition_covers_interior_exactly():
+    for n, p in ((34, 4), (34, 16), (66, 16), (10, 3)):
+        rows = []
+        for i in range(p):
+            lo, hi = row_partition(n, p, i)
+            rows.extend(range(lo, hi))
+        assert rows == list(range(1, n - 1))
+
+
+# ---------------------------------------------------------------- barnes --
+
+def test_make_bodies_deterministic_and_massed():
+    bodies = make_bodies(64, DeterministicRandom(9))
+    again = make_bodies(64, DeterministicRandom(9))
+    assert [(b.x, b.y) for b in bodies] == [(a.x, a.y) for a in again]
+    assert sum(b.mass for b in bodies) == pytest.approx(1.0)
+
+
+def test_octree_conserves_mass_and_com():
+    bodies = make_bodies(100, DeterministicRandom(2))
+    root, levels = build_octree(bodies)
+    assert root.mass == pytest.approx(sum(b.mass for b in bodies))
+    com_x = sum(b.x * b.mass for b in bodies) / root.mass
+    assert root.mx == pytest.approx(com_x)
+    assert levels >= 100
+
+
+@settings(max_examples=25, deadline=None)
+@given(count=st.integers(2, 60), seed=st.integers(0, 1000))
+def test_octree_mass_conservation_property(count, seed):
+    bodies = make_bodies(count, DeterministicRandom(seed))
+    root, _ = build_octree(bodies)
+    assert root.mass == pytest.approx(sum(b.mass for b in bodies))
+
+
+def test_theta_zero_is_exact_pairwise():
+    """With theta=0 the tree never opens approximations: forces equal the
+    direct O(n^2) sum."""
+    bodies = make_bodies(20, DeterministicRandom(4))
+    root, _ = build_octree(bodies)
+    for body in bodies:
+        fx, fy, fz, _ = compute_force(root, body, theta=0.0)
+        dfx = dfy = dfz = 0.0
+        for other in bodies:
+            if other is body:
+                continue
+            dx, dy, dz = other.x - body.x, other.y - body.y, other.z - body.z
+            dist2 = dx * dx + dy * dy + dz * dz
+            inv = 1.0 / math.sqrt((dist2 + 1e-4) ** 3)
+            dfx += other.mass * inv * dx
+            dfy += other.mass * inv * dy
+            dfz += other.mass * inv * dz
+        assert fx == pytest.approx(dfx, rel=1e-9)
+        assert fy == pytest.approx(dfy, rel=1e-9)
+        assert fz == pytest.approx(dfz, rel=1e-9)
+
+
+def test_larger_theta_fewer_interactions():
+    bodies = make_bodies(200, DeterministicRandom(8))
+    root, _ = build_octree(bodies)
+    exact = sum(compute_force(root, b, 0.0)[3] for b in bodies)
+    approx = sum(compute_force(root, b, 1.0)[3] for b in bodies)
+    assert approx < exact
+
+
+def test_force_is_deterministic():
+    bodies = make_bodies(50, DeterministicRandom(3))
+    root, _ = build_octree(bodies)
+    a = compute_force(root, bodies[7], 0.6)
+    b = compute_force(root, bodies[7], 0.6)
+    assert a == b
+
+
+def test_advance_integrates():
+    body = Body(0.0, 0.0, 0.0, 1.0)
+    advance(body, 1.0, 0.0, 0.0, dt=0.5)
+    assert body.vx == 0.5
+    assert body.x == 0.25
+
+
+def test_sequential_steps_deterministic():
+    bodies = make_bodies(30, DeterministicRandom(6))
+    a = sequential_steps(bodies, 2, 0.6, 0.05)
+    b = sequential_steps(bodies, 2, 0.6, 0.05)
+    assert [(x.x, x.vx) for x in a] == [(y.x, y.vx) for y in b]
+    # The originals are untouched.
+    assert bodies[0].vx != a[0].vx or bodies[0].x != a[0].x
+
+
+def test_coincident_bodies_do_not_recurse_forever():
+    bodies = [Body(0.5, 0.5, 0.5, 0.1) for _ in range(4)]
+    root, _ = build_octree(bodies)
+    assert root.mass == pytest.approx(0.4)
+
+
+# ------------------------------------------------------------------- dfs --
+
+def test_block_content_deterministic_and_distinct():
+    a = block_content(1, 2, 4096)
+    assert a == block_content(1, 2, 4096)
+    assert a != block_content(1, 3, 4096)
+    assert len(a) == 4096
+
+
+def test_block_home_round_robin():
+    homes = {block_home(0, b, 4) for b in range(8)}
+    assert homes == {0, 1, 2, 3}
+
+
+def test_lru_cache_evicts_oldest():
+    cache = _LRUCache(2)
+    cache.put(("f", 0), b"a")
+    cache.put(("f", 1), b"b")
+    assert cache.get(("f", 0)) == b"a"  # refresh 0
+    cache.put(("f", 2), b"c")           # evicts 1
+    assert cache.get(("f", 1)) == b""
+    assert cache.get(("f", 0)) == b"a"
+    assert cache.hits == 2
+    assert cache.misses == 1
+
+
+# ---------------------------------------------------------------- render --
+
+def test_volume_deterministic():
+    assert make_volume(8, 1) == make_volume(8, 1)
+    assert make_volume(8, 1) != make_volume(8, 2)
+
+
+def test_render_tile_deterministic_and_positive():
+    volume = make_volume(8, 3)
+    tile = render_tile(volume, 8, 16, 8, 0)
+    assert tile == render_tile(volume, 8, 16, 8, 0)
+    assert len(tile) == 64
+    assert all(v >= 0.0 for v in tile)
+
+
+def test_tiles_cover_image_without_overlap():
+    volume = make_volume(8, 3)
+    image_size, tile_size = 16, 8
+    seen = set()
+    tiles_per_row = image_size // tile_size
+    for tile_id in range(tiles_per_row**2):
+        tx = (tile_id % tiles_per_row) * tile_size
+        ty = (tile_id // tiles_per_row) * tile_size
+        for py in range(ty, ty + tile_size):
+            for px in range(tx, tx + tile_size):
+                assert (px, py) not in seen
+                seen.add((px, py))
+    assert len(seen) == image_size**2

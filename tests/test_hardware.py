@@ -1,0 +1,287 @@
+"""Unit tests for the node hardware models: memory, MMU, bus, CPU, params."""
+
+import pytest
+
+from repro.hardware import (
+    CPU,
+    AddressSpace,
+    DEFAULT_PARAMS,
+    MachineParams,
+    MemoryBus,
+    OutOfMemoryError,
+    PageFault,
+    PageMode,
+    PhysicalMemory,
+    Protection,
+)
+from repro.sim import Simulator, StatsRegistry, Timeout
+
+
+# ---------------------------------------------------------------- memory --
+
+def _memory(pages=8, page_size=4096):
+    return PhysicalMemory(pages * page_size, page_size)
+
+
+def test_memory_size_must_be_whole_pages():
+    with pytest.raises(ValueError):
+        PhysicalMemory(5000, 4096)
+
+
+def test_frame_allocation_and_exhaustion():
+    mem = _memory(pages=2)
+    a = mem.alloc_frame()
+    b = mem.alloc_frame()
+    assert a != b
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frame()
+    mem.free_frame(a)
+    assert mem.alloc_frame() == a
+
+
+def test_double_free_rejected():
+    mem = _memory()
+    frame = mem.alloc_frame()
+    mem.free_frame(frame)
+    with pytest.raises(ValueError):
+        mem.free_frame(frame)
+
+
+def test_freed_frame_is_zeroed():
+    mem = _memory()
+    frame = mem.alloc_frame()
+    mem.write(mem.frame_base(frame), b"secret")
+    mem.free_frame(frame)
+    frame2 = mem.alloc_frame()
+    assert mem.read_page(frame2)[:6] == bytes(6)
+
+
+def test_read_write_roundtrip():
+    mem = _memory()
+    mem.write(100, b"hello world")
+    assert mem.read(100, 11) == b"hello world"
+
+
+def test_out_of_range_access_rejected():
+    mem = _memory(pages=1)
+    with pytest.raises(ValueError):
+        mem.read(4090, 10)
+    with pytest.raises(ValueError):
+        mem.write(-1, b"x")
+
+
+def test_write_page_requires_full_page():
+    mem = _memory()
+    with pytest.raises(ValueError):
+        mem.write_page(0, b"short")
+
+
+def test_alloc_frames_bulk():
+    mem = _memory(pages=4)
+    frames = mem.alloc_frames(3)
+    assert len(set(frames)) == 3
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frames(2)
+
+
+# ------------------------------------------------------------------- MMU --
+
+def _space():
+    return AddressSpace(_memory(pages=16))
+
+
+def test_alloc_region_maps_pages():
+    space = _space()
+    base = space.alloc_region(3)
+    assert base % space.page_size == 0
+    vpage = base // space.page_size
+    for i in range(3):
+        assert space.is_mapped(vpage + i)
+
+
+def test_translate_and_data_access():
+    space = _space()
+    base = space.alloc_region(2)
+    space.write(base + 10, b"payload")
+    assert space.read(base + 10, 7) == b"payload"
+
+
+def test_cross_page_write_spans_frames():
+    space = _space()
+    base = space.alloc_region(2)
+    blob = bytes(range(200)) * 30  # 6000 bytes, crosses the page boundary
+    space.write(base, blob)
+    assert space.read(base, len(blob)) == blob
+
+
+def test_unmapped_access_faults():
+    space = _space()
+    with pytest.raises(PageFault) as info:
+        space.read(0, 1)
+    assert info.value.mapped is False
+
+
+def test_write_to_readonly_page_faults():
+    space = _space()
+    base = space.alloc_region(1, protection=Protection.READ)
+    assert space.read(base, 4) == bytes(4)
+    with pytest.raises(PageFault) as info:
+        space.write(base, b"x")
+    assert info.value.mapped is True
+    assert info.value.access == Protection.WRITE
+
+
+def test_protection_none_blocks_reads():
+    space = _space()
+    base = space.alloc_region(1, protection=Protection.NONE)
+    with pytest.raises(PageFault):
+        space.read(base, 1)
+
+
+def test_protect_transitions():
+    space = _space()
+    base = space.alloc_region(1)
+    vpage = base // space.page_size
+    space.protect(vpage, Protection.READ)
+    with pytest.raises(PageFault):
+        space.write(base, b"x")
+    space.protect(vpage, Protection.WRITE)
+    space.write(base, b"x")
+
+
+def test_page_mode_set_and_query():
+    space = _space()
+    base = space.alloc_region(1)
+    vpage = base // space.page_size
+    assert space.entry(vpage).mode == PageMode.WRITE_BACK
+    space.set_mode(vpage, PageMode.WRITE_THROUGH)
+    assert space.entry(vpage).mode == PageMode.WRITE_THROUGH
+
+
+def test_double_map_rejected():
+    space = _space()
+    frame = space.memory.alloc_frame()
+    space.map_page(100, frame)
+    with pytest.raises(ValueError):
+        space.map_page(100, frame)
+
+
+def test_unmap_page():
+    space = _space()
+    frame = space.memory.alloc_frame()
+    space.map_page(100, frame)
+    entry = space.unmap_page(100)
+    assert entry.frame == frame
+    with pytest.raises(ValueError):
+        space.unmap_page(100)
+
+
+# ------------------------------------------------------------------- bus --
+
+def test_bus_transfer_time_scales_with_size():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    small = bus.transfer_time(4)
+    large = bus.transfer_time(4096)
+    assert large > small
+    assert small == pytest.approx(
+        DEFAULT_PARAMS.bus_transaction_us + 4 / DEFAULT_PARAMS.memory_bus_bandwidth
+    )
+
+
+def test_bus_bandwidth_cap():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    eisa = bus.transfer_time(1024, bandwidth=DEFAULT_PARAMS.eisa_bandwidth)
+    full = bus.transfer_time(1024)
+    assert eisa > full
+
+
+def test_bus_serializes_masters():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    finish = []
+
+    def master(tag):
+        yield from bus.transfer(2400)  # 10us + transaction
+        finish.append((tag, sim.now))
+
+    sim.spawn(master("a"))
+    sim.spawn(master("b"))
+    sim.run()
+    assert finish[0][0] == "a"
+    # The second master finishes a full transfer later than the first.
+    assert finish[1][1] == pytest.approx(2 * finish[0][1])
+
+
+def test_bus_transaction_count_for_fragments():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    one = bus.transfer_time(1024, transactions=1)
+    many = bus.transfer_time(1024, transactions=256)
+    assert many - one == pytest.approx(255 * DEFAULT_PARAMS.bus_transaction_us)
+
+
+# ------------------------------------------------------------------- CPU --
+
+def test_cpu_compute_charges_cycles():
+    sim = Simulator()
+    stats = StatsRegistry()
+    cpu = CPU(sim, DEFAULT_PARAMS, 0, stats)
+
+    def proc():
+        yield from cpu.compute(60.0)  # 60 cycles at 60 MHz = 1 us
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(1.0)
+    assert stats.breakdown(0).computation == pytest.approx(1.0)
+
+
+def test_cpu_interrupt_stealing_extends_next_busy():
+    sim = Simulator()
+    stats = StatsRegistry()
+    cpu = CPU(sim, DEFAULT_PARAMS, 0, stats)
+    cpu.steal(5.0)
+
+    def proc():
+        yield from cpu.busy(2.0)
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(7.0)
+    assert stats.breakdown(0).overhead == pytest.approx(5.0)
+    assert cpu.pending_steal == 0.0
+
+
+def test_cpu_busy_category_routing():
+    sim = Simulator()
+    stats = StatsRegistry()
+    cpu = CPU(sim, DEFAULT_PARAMS, 3, stats)
+
+    def proc():
+        yield from cpu.busy(4.0, "barrier")
+
+    sim.run_process(proc())
+    assert stats.breakdown(3).barrier == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------- params --
+
+def test_params_derived_values():
+    p = MachineParams()
+    assert p.cycle_us == pytest.approx(1 / 60)
+    assert p.words_per_page == 1024
+    assert p.fifo_threshold_bytes == int(32 * 1024 * 0.75)
+    assert p.cycles(120) == pytest.approx(2.0)
+
+
+def test_params_with_overrides_is_a_copy():
+    base = MachineParams()
+    tweaked = base.with_overrides(page_size=1024)
+    assert tweaked.page_size == 1024
+    assert base.page_size == 4096
+
+
+def test_params_describe():
+    desc = DEFAULT_PARAMS.describe()
+    assert desc["cpu_mhz"] == 60.0
+    assert desc["mesh"] == "4x4"

@@ -1,0 +1,266 @@
+"""Cross-layer integration tests: microbenchmark calibration and the
+behavioral signatures of each what-if configuration."""
+
+import pytest
+
+from repro import Machine, MachineParams, NICConfig, VMMCRuntime
+from repro.study import micro
+from repro.study.configs import config
+
+
+# ----------------------------------------------------- calibration checks --
+
+def test_du_latency_matches_paper():
+    """Paper section 4.1: deliberate-update latency is 6 us."""
+    assert micro.du_word_latency() == pytest.approx(6.0, abs=0.5)
+
+
+def test_au_latency_matches_paper():
+    """Paper section 4.2: automatic-update one-word latency is 3.71 us."""
+    assert micro.au_word_latency() == pytest.approx(3.71, abs=0.35)
+
+
+def test_au_latency_beats_du():
+    assert micro.au_word_latency() < micro.du_word_latency()
+
+
+def test_udma_send_overhead_under_2us():
+    """Paper section 4.3: send overhead reduced to less than 2 us."""
+    assert micro.du_send_overhead() < 2.0
+
+
+def test_bulk_bandwidth_is_eisa_limited():
+    """Real SHRIMP bulk DU lands around 23 MB/s (EISA DMA limited)."""
+    bw = micro.du_bulk_bandwidth()
+    assert 18.0 < bw < 32.0
+
+
+def test_du_beats_au_for_bulk():
+    """Section 4.2: DU's DMA performance beats AU for bulk transfers."""
+    assert micro.du_bulk_bandwidth() > micro.au_bulk_bandwidth()
+
+
+def test_kernel_send_raises_du_latency():
+    kernel = config("kernel_send")
+    base = micro.du_word_latency()
+    slowed = micro.du_word_latency(nic=kernel.nic_config())
+    assert slowed > base + 5.0  # a syscall's worth
+
+
+def test_small_fifo_preserves_latency():
+    small = config("fifo_1k")
+    assert micro.au_word_latency(nic=small.nic_config()) == pytest.approx(
+        micro.au_word_latency(), abs=0.01
+    )
+
+
+# --------------------------------------------------- what-if signatures --
+
+def _au_stream(nic_config=None, nbytes=16 * 1024, combine=True):
+    """Push an AU stream through one binding; returns the machine."""
+    machine = Machine(num_nodes=2, nic_config=nic_config)
+    runtime = VMMCRuntime(machine)
+    sender_ep = runtime.endpoint(machine.create_process(0))
+    receiver_ep = runtime.endpoint(machine.create_process(1))
+
+    def receiver():
+        buffer = yield from receiver_ep.export(nbytes, name="stream")
+        yield from receiver_ep.wait_bytes(buffer, nbytes)
+
+    def sender():
+        imported = yield from sender_ep.import_buffer("stream")
+        local = sender_ep.alloc(nbytes)
+        yield from sender_ep.bind_au(
+            imported, local, nbytes // 4096, combine=combine
+        )
+        yield from sender_ep.au_write(local, bytes(nbytes))
+        yield from sender_ep.au_flush()
+
+    machine.sim.spawn(receiver(), "rx")
+    machine.sim.spawn(sender(), "tx")
+    machine.sim.run()
+    return machine
+
+
+def test_no_combining_multiplies_packets():
+    combined = _au_stream()
+    uncombined = _au_stream(nic_config=config("no_combining").nic_config())
+    assert (
+        uncombined.stats.counter_value("au.packets")
+        > 50 * combined.stats.counter_value("au.packets")
+    )
+    assert uncombined.now > 1.5 * combined.now  # bandwidth collapse
+
+
+def test_fifo_drains_faster_than_it_fills_without_contention():
+    """Paper section 4.5.2: the FIFO drains faster than the CPU fills it,
+    so a lone sender never approaches even a 1 KB capacity."""
+    machine = _au_stream(nic_config=config("fifo_1k").nic_config())
+    assert machine.stats.counter_value("kernel.fifo_threshold_interrupts") == 0
+    assert machine.nodes[0].nic.fifo.max_fill < 1024
+
+
+def _many_to_one_au(nic_config, senders=3, nbytes=24 * 1024):
+    """Several nodes AU-stream into one receiver: the drain blocks on
+    backpressure and the outgoing FIFOs back up (the paper's overflow
+    scenario: network contention on a many-to-one pattern)."""
+    machine = Machine(num_nodes=senders + 1, nic_config=nic_config)
+    runtime = VMMCRuntime(machine)
+    rx = runtime.endpoint(machine.create_process(0))
+
+    def receiver():
+        buffers = []
+        for s in range(senders):
+            buffer = yield from rx.export(nbytes, name=f"m2o.{s}")
+            buffers.append(buffer)
+        for buffer in buffers:
+            yield from rx.wait_bytes(buffer, nbytes)
+
+    def sender(s):
+        endpoint = runtime.endpoint(machine.create_process(s + 1))
+        imported = yield from endpoint.import_buffer(f"m2o.{s}")
+        local = endpoint.alloc(nbytes)
+        yield from endpoint.bind_au(imported, local, nbytes // 4096,
+                                    combine=True)
+        yield from endpoint.au_write(local, bytes(nbytes))
+        yield from endpoint.au_flush()
+
+    machine.sim.spawn(receiver(), "rx")
+    for s in range(senders):
+        machine.sim.spawn(sender(s), f"tx{s}")
+    machine.sim.run()
+    return machine
+
+
+def test_small_fifo_flow_control_under_contention_never_overflows():
+    machine = _many_to_one_au(config("fifo_1k").nic_config())
+    assert machine.stats.counter_value("kernel.fifo_threshold_interrupts") > 0
+    # The run completed and no FIFOOverflowError fired; fills stayed in cap.
+    for node in machine.nodes:
+        assert node.nic.fifo.max_fill <= 1024
+
+
+def test_large_fifo_avoids_flow_control_under_same_contention():
+    machine = _many_to_one_au(config("fifo_32k").nic_config())
+    assert machine.stats.counter_value("kernel.fifo_threshold_interrupts") == 0
+
+
+def test_interrupt_all_charges_kernel_time():
+    base = Machine(num_nodes=2)
+
+    def run(machine):
+        runtime = VMMCRuntime(machine)
+        tx = runtime.endpoint(machine.create_process(0))
+        rx = runtime.endpoint(machine.create_process(1))
+
+        def receiver():
+            buffer = yield from rx.export(4096, name="r")
+            yield from rx.wait_messages(buffer, 20)
+
+        def sender():
+            imported = yield from tx.import_buffer("r")
+            src = tx.alloc(4096)
+            for _ in range(20):
+                yield from tx.send(imported, src, 64)
+
+        machine.sim.spawn(receiver(), "rx")
+        machine.sim.spawn(sender(), "tx")
+        machine.sim.run()
+        return machine
+
+    plain = run(base)
+    noisy = run(Machine(num_nodes=2, nic_config=config("interrupt_all").nic_config()))
+    assert plain.stats.counter_value("kernel.message_interrupts") == 0
+    assert noisy.stats.counter_value("kernel.message_interrupts") == 20
+    assert noisy.now > plain.now
+
+
+def test_du_queue_depth_allows_overlapping_initiation():
+    """With a 2-deep queue, a second async send initiates without waiting
+    for the first DMA; without it, initiation serializes."""
+
+    def run(nic_config):
+        machine = Machine(num_nodes=2, nic_config=nic_config)
+        runtime = VMMCRuntime(machine)
+        tx = runtime.endpoint(machine.create_process(0))
+        rx = runtime.endpoint(machine.create_process(1))
+        marks = {}
+
+        def receiver():
+            buffer = yield from rx.export(8192, name="q")
+            yield from rx.wait_bytes(buffer, 8192)
+
+        def sender():
+            imported = yield from tx.import_buffer("q")
+            src = tx.alloc(8192)
+            tx.poke(src, b"Q" * 8192)
+            start = machine.now
+            yield from tx.send(imported, src, 4096, sync=False)
+            yield from tx.send(imported, src + 4096, 4096, dst_offset=4096,
+                               sync=False)
+            marks["initiated"] = machine.now - start
+
+        machine.sim.spawn(receiver(), "rx")
+        machine.sim.spawn(sender(), "tx")
+        machine.sim.run()
+        return marks["initiated"]
+
+    no_queue = run(None)
+    queued = run(config("du_queue_2").nic_config())
+    assert queued < no_queue
+
+
+def test_bus_contention_limits_queueing_benefit():
+    """Section 4.5.3's conclusion: even with queued transfers, total time
+    barely improves because the DMA holds the memory bus."""
+
+    def run(nic_config):
+        machine = Machine(num_nodes=2, nic_config=nic_config)
+        runtime = VMMCRuntime(machine)
+        tx = runtime.endpoint(machine.create_process(0))
+        rx = runtime.endpoint(machine.create_process(1))
+
+        def receiver():
+            buffer = yield from rx.export(16 * 4096, name="qq")
+            yield from rx.wait_bytes(buffer, 16 * 4096)
+
+        def sender():
+            imported = yield from tx.import_buffer("qq")
+            src = tx.alloc(16 * 4096)
+            for i in range(16):
+                yield from tx.send(
+                    imported, src + i * 4096, 4096, dst_offset=i * 4096,
+                    sync=False,
+                )
+
+        machine.sim.spawn(receiver(), "rx")
+        machine.sim.spawn(sender(), "tx")
+        machine.sim.run()
+        return machine.now
+
+    base = run(None)
+    queued = run(config("du_queue_2").nic_config())
+    assert abs(base - queued) / base < 0.02  # within 2%
+
+
+def test_no_au_config_forces_du_only():
+    machine = Machine(num_nodes=2, nic_config=config("no_au").nic_config())
+    runtime = VMMCRuntime(machine)
+    tx = runtime.endpoint(machine.create_process(0))
+    rx = runtime.endpoint(machine.create_process(1))
+
+    def receiver():
+        yield from rx.export(4096, name="n")
+
+    def sender():
+        from repro.vmmc import BindingError
+        import pytest as pt
+
+        imported = yield from tx.import_buffer("n")
+        local = tx.alloc(4096)
+        with pt.raises(BindingError):
+            yield from tx.bind_au(imported, local, 1)
+
+    machine.sim.spawn(receiver(), "rx")
+    machine.sim.spawn(sender(), "tx")
+    machine.sim.run()

@@ -1,0 +1,250 @@
+"""Unit and property tests for the outgoing FIFO and the combining engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Packet, PacketKind
+from repro.nic import CombiningEngine, FIFOOverflowError, OPTEntry, OutgoingFIFO
+from repro.sim import Simulator
+
+
+def _packet(nbytes, fragments=1):
+    return Packet(0, 1, 0, 0, b"x" * nbytes, PacketKind.AUTOMATIC_UPDATE,
+                  fragments=fragments)
+
+
+# ------------------------------------------------------------------ FIFO --
+
+def test_fifo_threshold_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OutgoingFIFO(sim, capacity=100, threshold=0)
+    with pytest.raises(ValueError):
+        OutgoingFIFO(sim, capacity=100, threshold=101)
+
+
+def test_fifo_fill_accounting():
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=1000, threshold=800)
+    packet = _packet(92)  # size 100
+    fifo.put(packet)
+    assert fifo.fill_bytes == 100
+    assert fifo.headroom == 900
+    fifo.mark_injected(packet)
+    assert fifo.fill_bytes == 0
+    assert fifo.max_fill == 100
+
+
+def test_fifo_threshold_interrupt_fires_once_per_crossing():
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=1000, threshold=200)
+    fires = []
+    fifo.on_threshold = lambda: fires.append(sim.now)
+    packets = [_packet(92) for _ in range(4)]
+    for p in packets:
+        fifo.put(p)
+    assert fifo.threshold_interrupts == 1
+    assert fifo.over_threshold
+    # Drain below the resume mark -> drained fires, flag clears.
+    drained = []
+
+    def watch():
+        yield from fifo.drained.wait()
+        drained.append(sim.now)
+
+    sim.spawn(watch())
+    sim.schedule(1.0, lambda: [fifo.mark_injected(p) for p in packets])
+    sim.run()
+    assert not fifo.over_threshold
+    assert drained
+
+
+def test_fifo_overflow_raises():
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=150, threshold=100)
+    fifo.put(_packet(92))
+    with pytest.raises(FIFOOverflowError):
+        fifo.put(_packet(92))
+
+
+def test_fifo_emptied_signal():
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=1000, threshold=800)
+    empties = []
+
+    def watch():
+        yield from fifo.emptied.wait()
+        empties.append(True)
+
+    sim.spawn(watch())
+    p = _packet(10)
+
+    def drive():
+        fifo.put(p)
+        fifo.mark_injected(p)
+
+    sim.schedule(1.0, drive)
+    sim.run()
+    assert empties
+
+
+def test_fifo_get_blocks_until_put():
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=1000, threshold=800)
+
+    def getter():
+        packet = yield from fifo.get()
+        return (packet.data_bytes, sim.now)
+
+    proc = sim.spawn(getter())
+    sim.schedule(2.0, lambda: fifo.put(_packet(40)))
+    sim.run()
+    assert proc.result == (40, 2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes=st.lists(st.integers(1, 200), min_size=1, max_size=40))
+def test_fifo_fill_never_negative_and_conserved(sizes):
+    sim = Simulator()
+    fifo = OutgoingFIFO(sim, capacity=10**6, threshold=10**5)
+    packets = [_packet(s) for s in sizes]
+    for p in packets:
+        fifo.put(p)
+    assert fifo.fill_bytes == sum(p.size for p in packets)
+    for p in packets:
+        fifo.mark_injected(p)
+    assert fifo.fill_bytes == 0
+
+
+# --------------------------------------------------------------- combining --
+
+def _engine(sim=None, force_off=False, boundary=1024, timeout=2.0):
+    sim = sim or Simulator()
+    out = []
+    engine = CombiningEngine(
+        sim, src_node=0, emit=out.append, word_size=4, page_size=4096,
+        combine_boundary=boundary, combine_timeout_us=timeout,
+        force_off=force_off,
+    )
+    return sim, engine, out
+
+
+def _entry(combine=True, dst=1, frame=9):
+    return OPTEntry(dst_node=dst, dst_frame=frame, combine=combine)
+
+
+def test_uncombined_run_emits_word_fragments():
+    sim, engine, out = _engine()
+    engine.write_run(_entry(combine=False), 0, b"x" * 64)
+    assert len(out) == 1
+    assert out[0].fragments == 16
+    assert out[0].payload == b"x" * 64
+    assert engine.packets_emitted == 16
+
+
+def test_force_off_overrides_entry_bit():
+    sim, engine, out = _engine(force_off=True)
+    engine.write_run(_entry(combine=True), 0, b"y" * 16)
+    assert out[0].fragments == 4
+
+
+def test_combining_accumulates_consecutive_runs():
+    sim, engine, out = _engine()
+    engine.write_run(_entry(), 0, b"a" * 8)
+    engine.write_run(_entry(), 8, b"b" * 8)
+    assert out == []  # still pending
+    engine.flush()
+    assert len(out) == 1
+    assert out[0].payload == b"a" * 8 + b"b" * 8
+    assert out[0].fragments == 1
+
+
+def test_non_consecutive_store_flushes_pending():
+    sim, engine, out = _engine()
+    engine.write_run(_entry(), 0, b"a" * 8)
+    engine.write_run(_entry(), 100, b"b" * 8)  # gap
+    assert len(out) == 1
+    assert out[0].offset == 0
+    engine.flush()
+    assert len(out) == 2
+    assert out[1].offset == 100
+
+
+def test_different_destination_flushes_pending():
+    sim, engine, out = _engine()
+    engine.write_run(_entry(frame=5), 0, b"a" * 8)
+    engine.write_run(_entry(frame=6), 8, b"b" * 8)
+    assert len(out) == 1
+
+
+def test_combining_splits_at_subpage_boundary():
+    sim, engine, out = _engine(boundary=64)
+    engine.write_run(_entry(), 0, b"z" * 200)
+    # 0..64, 64..128, 128..192 flushed; 192..200 pending
+    assert [len(p.payload) for p in out] == [64, 64, 64]
+    engine.flush()
+    assert len(out[-1].payload) == 8
+
+
+def test_combining_timer_flushes():
+    sim, engine, out = _engine(timeout=2.0)
+    engine.write_run(_entry(), 0, b"a" * 8)
+    sim.run()
+    assert len(out) == 1
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_timer_does_not_double_flush():
+    sim, engine, out = _engine(timeout=2.0)
+    engine.write_run(_entry(), 0, b"a" * 8)
+    engine.flush()
+    sim.run()  # timer expires harmlessly
+    assert len(out) == 1
+
+
+def test_run_crossing_page_rejected():
+    sim, engine, out = _engine()
+    with pytest.raises(ValueError):
+        engine.write_run(_entry(), 4090, b"x" * 10)
+
+
+def test_combining_statistics():
+    sim, engine, out = _engine()
+    engine.write_run(_entry(), 0, b"a" * 8)
+    engine.write_run(_entry(), 8, b"b" * 8)
+    engine.flush()
+    assert engine.stores_seen == 4
+    assert engine.stores_combined >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    runs=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(1, 16)),
+        min_size=1,
+        max_size=20,
+    ),
+    combine=st.booleans(),
+)
+def test_combining_preserves_every_byte(runs, combine):
+    """Whatever the combining decisions, the emitted packets must cover
+    exactly the written (offset, data) pairs."""
+    sim, engine, out = _engine()
+    entry = _entry(combine=combine)
+    written = {}
+    for offset_words, length_words in runs:
+        offset = offset_words * 4
+        data = bytes(
+            [(offset + i) % 251 for i in range(length_words * 4)]
+        )
+        if offset + len(data) > 4096:
+            continue
+        engine.write_run(entry, offset, data)
+        for i, byte in enumerate(data):
+            written[offset + i] = byte
+    engine.flush()
+    delivered = {}
+    for packet in out:
+        for i, byte in enumerate(packet.payload):
+            delivered[packet.offset + i] = byte
+    assert delivered == written

@@ -1,0 +1,156 @@
+"""Unit tests for the outgoing/incoming page tables and NIC config."""
+
+import pytest
+
+from repro.nic import (
+    IncomingPageTable,
+    NICConfig,
+    OPTEntry,
+    OutgoingPageTable,
+)
+
+
+# ------------------------------------------------------------------- OPT --
+
+def test_au_bind_and_snoop_lookup():
+    opt = OutgoingPageTable(64)
+    entry = OPTEntry(dst_node=3, dst_frame=17)
+    opt.bind_au(5, entry)
+    assert opt.au_lookup(5) is entry
+    assert opt.au_binding_count() == 1
+
+
+def test_au_lookup_misses_unbound_frames():
+    opt = OutgoingPageTable(64)
+    assert opt.au_lookup(0) is None  # snooped but ignored
+
+
+def test_au_lookup_respects_enabled_bit():
+    opt = OutgoingPageTable(64)
+    entry = OPTEntry(dst_node=1, dst_frame=2, enabled=False)
+    opt.bind_au(0, entry)
+    assert opt.au_lookup(0) is None
+    entry.enabled = True
+    assert opt.au_lookup(0) is entry
+
+
+def test_au_double_bind_rejected():
+    opt = OutgoingPageTable(64)
+    opt.bind_au(1, OPTEntry(0, 0))
+    with pytest.raises(ValueError):
+        opt.bind_au(1, OPTEntry(0, 1))
+
+
+def test_au_unbind():
+    opt = OutgoingPageTable(64)
+    opt.bind_au(1, OPTEntry(0, 0))
+    opt.unbind_au(1)
+    assert opt.au_lookup(1) is None
+    with pytest.raises(ValueError):
+        opt.unbind_au(1)
+
+
+def test_au_bind_out_of_range_frame():
+    opt = OutgoingPageTable(4)
+    with pytest.raises(ValueError):
+        opt.bind_au(4, OPTEntry(0, 0))
+
+
+def test_proxy_alloc_lookup_free():
+    opt = OutgoingPageTable(64)
+    pid = opt.alloc_proxy(2, 9, 4096)
+    entry = opt.proxy_lookup(pid)
+    assert (entry.dst_node, entry.dst_frame) == (2, 9)
+    assert opt.proxy_count() == 1
+    opt.free_proxy(pid)
+    with pytest.raises(ValueError):
+        opt.proxy_lookup(pid)
+    with pytest.raises(ValueError):
+        opt.free_proxy(pid)
+
+
+def test_proxy_ids_are_unique():
+    opt = OutgoingPageTable(64)
+    ids = [opt.alloc_proxy(0, i, 4096) for i in range(10)]
+    assert len(set(ids)) == 10
+
+
+# ------------------------------------------------------------------- IPT --
+
+def test_export_and_lookup():
+    ipt = IncomingPageTable(64)
+    ipt.export_frame(3, owner_pid=7, buffer_id=1)
+    entry = ipt.lookup(3)
+    assert entry.owner_pid == 7
+    assert ipt.export_count() == 1
+    assert ipt.lookup(4) is None
+
+
+def test_double_export_rejected():
+    ipt = IncomingPageTable(64)
+    ipt.export_frame(3, 1, 1)
+    with pytest.raises(ValueError):
+        ipt.export_frame(3, 2, 2)
+
+
+def test_unexport():
+    ipt = IncomingPageTable(64)
+    ipt.export_frame(3, 1, 1)
+    ipt.unexport_frame(3)
+    assert ipt.lookup(3) is None
+    with pytest.raises(ValueError):
+        ipt.unexport_frame(3)
+
+
+def test_interrupt_requires_both_bits():
+    """The AND of the sender's header bit and the receiver's IPT bit."""
+    ipt = IncomingPageTable(64)
+    ipt.export_frame(0, 1, 1, interrupt_enabled=False)
+    ipt.export_frame(1, 1, 1, interrupt_enabled=True)
+    # receiver bit off
+    assert not ipt.should_interrupt(0, packet_interrupt_bit=True)
+    # sender bit off
+    assert not ipt.should_interrupt(1, packet_interrupt_bit=False)
+    # both on
+    assert ipt.should_interrupt(1, packet_interrupt_bit=True)
+    # unexported frame never interrupts
+    assert not ipt.should_interrupt(9, packet_interrupt_bit=True)
+
+
+def test_set_interrupt_toggles():
+    ipt = IncomingPageTable(64)
+    ipt.export_frame(0, 1, 1)
+    ipt.set_interrupt(0, True)
+    assert ipt.should_interrupt(0, True)
+    ipt.set_interrupt(0, False)
+    assert not ipt.should_interrupt(0, True)
+
+
+def test_export_out_of_range():
+    ipt = IncomingPageTable(4)
+    with pytest.raises(ValueError):
+        ipt.export_frame(4, 1, 1)
+
+
+# ---------------------------------------------------------------- config --
+
+def test_nic_config_defaults_are_production_shrimp():
+    config = NICConfig()
+    assert config.user_level_dma
+    assert not config.interrupt_every_message
+    assert config.au_combining
+    assert config.du_queue_depth == 1
+    assert config.automatic_update
+
+
+def test_nic_config_validation():
+    with pytest.raises(ValueError):
+        NICConfig(du_queue_depth=0)
+    with pytest.raises(ValueError):
+        NICConfig(combine_boundary=4)
+
+
+def test_nic_config_overrides():
+    config = NICConfig().with_overrides(user_level_dma=False)
+    assert not config.user_level_dma
+    assert config.au_combining

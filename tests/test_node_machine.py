@@ -1,0 +1,200 @@
+"""Unit tests for nodes, kernel, machine assembly and tracing."""
+
+import pytest
+
+from repro import Machine, MachineParams, NICConfig
+from repro.node.machine import _mesh_for
+from repro.sim import Tracer
+
+
+# ---------------------------------------------------------------- machine --
+
+def test_machine_builds_requested_nodes():
+    machine = Machine(num_nodes=6)
+    assert machine.num_nodes == 6
+    assert len(machine.nodes) == 6
+    assert machine.node(3).node_id == 3
+
+
+def test_machine_rejects_zero_nodes():
+    with pytest.raises(ValueError):
+        Machine(num_nodes=0)
+
+
+def test_mesh_grows_for_large_machines():
+    machine = Machine(num_nodes=25)
+    topo = machine.backplane.topology
+    assert topo.num_nodes >= 25
+
+
+def test_mesh_for_helper():
+    assert _mesh_for(1) == (1, 1)
+    assert _mesh_for(16) == (4, 4)
+    width, height = _mesh_for(17)
+    assert width * height >= 17
+
+
+def test_machine_start_is_idempotent():
+    machine = Machine(num_nodes=2)
+    machine.start()
+    machine.start()
+    assert machine._started
+
+
+def test_create_process_assigns_fresh_pids():
+    machine = Machine(num_nodes=2)
+    a = machine.create_process(0)
+    b = machine.create_process(0)
+    c = machine.create_process(1)
+    assert a.pid != b.pid
+    assert (c.node_id, a.node_id) == (1, 0)
+
+
+def test_registry_namespaces_are_shared():
+    machine = Machine(num_nodes=2)
+    machine.registry("x")["k"] = 1
+    assert machine.registry("x")["k"] == 1
+    assert machine.registry("y") == {}
+
+
+def test_machine_accepts_custom_params_and_config():
+    params = MachineParams().with_overrides(page_size=1024)
+    config = NICConfig(du_queue_depth=2)
+    machine = Machine(num_nodes=2, params=params, nic_config=config)
+    assert machine.params.page_size == 1024
+    assert machine.nodes[0].nic.du.queue_depth == 2
+
+
+def test_now_tracks_simulator():
+    machine = Machine(num_nodes=1)
+    machine.sim.schedule(5.0, lambda: None)
+    machine.sim.run()
+    assert machine.now == 5.0
+
+
+# ----------------------------------------------------------------- kernel --
+
+def test_kernel_syscall_cost():
+    machine = Machine(num_nodes=1)
+    kernel = machine.nodes[0].kernel
+
+    def proc():
+        yield from kernel.syscall()
+        return machine.now
+
+    assert machine.sim.run_process(proc()) == pytest.approx(
+        machine.params.syscall_us
+    )
+    assert machine.stats.counter_value("kernel.syscalls") == 1
+
+
+def test_kernel_pin_pages_scales_with_count():
+    machine = Machine(num_nodes=1)
+    kernel = machine.nodes[0].kernel
+
+    def proc():
+        yield from kernel.pin_pages(4)
+        return machine.now
+
+    assert machine.sim.run_process(proc()) == pytest.approx(
+        4 * machine.params.pin_page_us
+    )
+
+
+def test_kernel_au_blocked_reflects_fifo():
+    machine = Machine(num_nodes=1)
+    node = machine.nodes[0]
+    assert not node.kernel.au_blocked
+    node.nic.fifo.over_threshold = True
+    assert node.kernel.au_blocked
+
+
+# ------------------------------------------------------------------ trace --
+
+def test_tracer_disabled_by_default_and_costs_nothing():
+    machine = Machine(num_nodes=1)
+    machine.stats.trace("cat", 0, "msg")
+    assert machine.tracer.events == []
+
+
+def test_tracer_records_when_enabled():
+    machine = Machine(num_nodes=1)
+    machine.tracer.enable()
+    machine.sim.schedule(3.0, lambda: machine.stats.trace("a.b", 0, "hello"))
+    machine.sim.run()
+    assert len(machine.tracer.events) == 1
+    event = machine.tracer.events[0]
+    assert (event.time, event.category, event.message) == (3.0, "a.b", "hello")
+    assert "a.b" in str(event)
+
+
+def test_tracer_category_filter():
+    tracer = Tracer(lambda: 0.0)
+    tracer.enable(categories=["nic."])
+    tracer.emit("nic.tx", 0, "yes")
+    tracer.emit("svm.fault", 0, "no")
+    assert tracer.count() == 1
+    assert tracer.count("nic") == 1
+
+
+def test_tracer_select_by_node_and_window():
+    clock = [0.0]
+    tracer = Tracer(lambda: clock[0])
+    tracer.enable()
+    for t, node in ((1.0, 0), (2.0, 1), (3.0, 0)):
+        clock[0] = t
+        tracer.emit("x", node, f"at {t}")
+    assert len(tracer.select(node=0)) == 2
+    assert len(tracer.select(since=1.5, until=2.5)) == 1
+    assert "at 2.0" in tracer.dump(node=1)
+
+
+def test_tracer_limit_drops_overflow():
+    tracer = Tracer(lambda: 0.0, limit=3)
+    tracer.enable()
+    for i in range(5):
+        tracer.emit("x", 0, str(i))
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 2
+    tracer.clear()
+    assert tracer.events == [] and tracer.dropped == 0
+
+
+def test_machine_tracing_captures_nic_traffic():
+    from repro import VMMCRuntime
+
+    machine = Machine(num_nodes=2)
+    machine.tracer.enable(categories=["nic."])
+    runtime = VMMCRuntime(machine)
+    tx = runtime.endpoint(machine.create_process(0))
+    rx = runtime.endpoint(machine.create_process(1))
+
+    def receiver():
+        buffer = yield from rx.export(4096, name="t")
+        yield from rx.wait_bytes(buffer, 4)
+
+    def sender():
+        imported = yield from tx.import_buffer("t")
+        src = tx.alloc(4096)
+        yield from tx.send(imported, src, 4)
+
+    machine.sim.spawn(receiver(), "r")
+    machine.sim.spawn(sender(), "s")
+    machine.sim.run()
+    assert machine.tracer.count("nic.tx") >= 1
+    assert machine.tracer.count("nic.rx") >= 1
+
+
+def test_posted_store_tracking():
+    machine = Machine(num_nodes=1)
+    node = machine.nodes[0]
+    space = machine.create_process(0).address_space
+    base = space.alloc_region(1)
+
+    def proc():
+        yield from node.au_store_run(space, base, b"WORD")
+        assert node.pending_posted >= 0
+        yield from node.wait_posted_drained()
+        return node.pending_posted
+
+    assert machine.sim.run_process(proc()) == 0

@@ -1,0 +1,286 @@
+"""Tests for the NX message-passing library."""
+
+import struct
+
+import pytest
+
+from repro import Machine, VMMCRuntime
+from repro.msg import ANY_SOURCE, ANY_TYPE, NXWorld
+
+
+def _world(nprocs, transport="du"):
+    machine = Machine(num_nodes=nprocs)
+    runtime = VMMCRuntime(machine)
+    world = NXWorld(runtime, nprocs, transport=transport)
+    return machine, world
+
+
+def _run_ranks(machine, world, body):
+    """Run ``body(nx, rank)`` on every rank; returns results by rank."""
+
+    def worker(rank):
+        proc = machine.create_process(rank)
+        nx = yield from world.join(rank, proc)
+        result = yield from body(nx, rank)
+        return result
+
+    procs = [
+        machine.sim.spawn(worker(r), f"rank{r}") for r in range(world.nprocs)
+    ]
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+    return [p.result for p in procs]
+
+
+def test_point_to_point_ring():
+    machine, world = _world(4)
+
+    def body(nx, rank):
+        yield from nx.csend(5, f"from-{rank}".encode(), (rank + 1) % 4)
+        src, msg_type, data = yield from nx.crecv(5, (rank - 1) % 4)
+        return (src, msg_type, data)
+
+    results = _run_ranks(machine, world, body)
+    for rank, (src, msg_type, data) in enumerate(results):
+        assert src == (rank - 1) % 4
+        assert msg_type == 5
+        assert data == f"from-{src}".encode()
+
+
+def test_crecv_type_selection():
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            yield from nx.csend(1, b"first", 1)
+            yield from nx.csend(2, b"second", 1)
+            return None
+        # Receive out of arrival order by type.
+        _, _, second = yield from nx.crecv(2)
+        _, _, first = yield from nx.crecv(1)
+        return (first, second)
+
+    results = _run_ranks(machine, world, body)
+    assert results[1] == (b"first", b"second")
+
+
+def test_crecv_any_matches_first_arrival():
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            yield from nx.csend(9, b"only", 1)
+            return None
+        src, msg_type, data = yield from nx.crecv(ANY_TYPE, ANY_SOURCE)
+        return (src, msg_type, data)
+
+    results = _run_ranks(machine, world, body)
+    assert results[1] == (0, 9, b"only")
+
+
+def test_large_message_reassembly():
+    machine, world = _world(2)
+    big = bytes(range(256)) * 256  # 64 KB >> ring
+
+    def body(nx, rank):
+        if rank == 0:
+            yield from nx.csend(3, big, 1)
+            return None
+        _, _, data = yield from nx.crecv(3, 0)
+        return data
+
+    results = _run_ranks(machine, world, body)
+    assert results[1] == big
+
+
+def test_send_to_self_rejected():
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            with pytest.raises(ValueError):
+                yield from nx.csend(1, b"x", 0)
+        return None
+        yield  # pragma: no cover
+
+    _run_ranks(machine, world, body)
+
+
+def test_gsync_barrier_synchronizes():
+    machine, world = _world(4)
+    order = []
+
+    def body(nx, rank):
+        from repro.sim import Timeout
+
+        yield Timeout(rank * 50.0)  # stagger arrival
+        order.append(("enter", rank, machine.now))
+        yield from nx.gsync()
+        order.append(("exit", rank, machine.now))
+        return machine.now
+
+    exits = _run_ranks(machine, world, body)
+    last_entry = max(t for kind, _r, t in order if kind == "enter")
+    assert all(t >= last_entry for t in exits)
+
+
+def test_repeated_barriers():
+    machine, world = _world(3)
+
+    def body(nx, rank):
+        for _ in range(5):
+            yield from nx.gsync()
+        return True
+
+    assert all(_run_ranks(machine, world, body))
+
+
+def test_broadcast_from_every_root():
+    machine, world = _world(4)
+
+    def body(nx, rank):
+        got = []
+        for root in range(4):
+            data = f"root-{root}".encode() if rank == root else None
+            value = yield from nx.broadcast(root, data)
+            got.append(value)
+        return got
+
+    results = _run_ranks(machine, world, body)
+    for got in results:
+        assert got == [f"root-{r}".encode() for r in range(4)]
+
+
+def test_allgather_collects_by_rank():
+    machine, world = _world(4)
+
+    def body(nx, rank):
+        parts = yield from nx.allgather(bytes([rank]) * 3)
+        return parts
+
+    results = _run_ranks(machine, world, body)
+    for parts in results:
+        assert parts == [bytes([r]) * 3 for r in range(4)]
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 8])
+def test_allreduce_sum_any_world_size(nprocs):
+    machine, world = _world(nprocs)
+
+    def body(nx, rank):
+        total = yield from nx.allreduce(float(rank + 1), lambda a, b: a + b)
+        return total
+
+    results = _run_ranks(machine, world, body)
+    expected = sum(range(1, nprocs + 1))
+    assert all(r == pytest.approx(expected) for r in results)
+
+
+def test_allreduce_max():
+    machine, world = _world(4)
+
+    def body(nx, rank):
+        value = yield from nx.allreduce(float(rank * 7 % 5), max)
+        return value
+
+    results = _run_ranks(machine, world, body)
+    assert len(set(results)) == 1
+
+
+def test_au_transport_world():
+    machine, world = _world(3, transport="au")
+
+    def body(nx, rank):
+        yield from nx.csend(1, b"au-data" * 10, (rank + 1) % 3)
+        _, _, data = yield from nx.crecv(1, (rank - 1) % 3)
+        return data
+
+    results = _run_ranks(machine, world, body)
+    assert all(r == b"au-data" * 10 for r in results)
+    assert machine.stats.counter_value("au.bytes") > 0
+
+
+def test_single_rank_world():
+    machine, world = _world(1)
+
+    def body(nx, rank):
+        yield from nx.gsync()
+        parts = yield from nx.allgather(b"solo")
+        total = yield from nx.allreduce(5.0, lambda a, b: a + b)
+        data = yield from nx.broadcast(0, b"self")
+        return (parts, total, data)
+
+    (result,) = _run_ranks(machine, world, body)
+    assert result == ([b"solo"], 5.0, b"self")
+
+
+def test_world_validation():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    with pytest.raises(ValueError):
+        NXWorld(runtime, 0)
+    with pytest.raises(ValueError):
+        NXWorld(runtime, 2, transport="rfc1149")
+    world = NXWorld(runtime, 2)
+    with pytest.raises(ValueError):
+        machine.sim.run_process(world.join(5, machine.create_process(0)))
+
+
+def test_message_counters():
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            yield from nx.csend(1, b"a", 1)
+            yield from nx.csend(1, b"b", 1)
+        else:
+            yield from nx.crecv(1)
+            yield from nx.crecv(1)
+        return (nx.messages_sent, nx.messages_received)
+
+    results = _run_ranks(machine, world, body)
+    assert results[0] == (2, 0)
+    assert results[1] == (0, 2)
+
+
+def test_isend_irecv_msgwait():
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            # Post both sends asynchronously, then wait for completion.
+            h1 = nx.isend(1, b"first", 1)
+            h2 = nx.isend(2, b"second", 1)
+            yield from nx.msgwait(h1)
+            yield from nx.msgwait(h2)
+            return None
+        # Post a receive before doing local work, harvest it later.
+        handle = nx.irecv(2, 0)
+        _, _, first = yield from nx.crecv(1, 0)
+        src, msg_type, second = yield from nx.msgwait(handle)
+        return (first, (src, msg_type, second))
+
+    results = _run_ranks(machine, world, body)
+    assert results[1] == (b"first", (0, 2, b"second"))
+
+
+def test_isend_overlaps_with_computation():
+    from repro.sim import Timeout
+
+    machine, world = _world(2)
+
+    def body(nx, rank):
+        if rank == 0:
+            t0 = machine.now
+            handle = nx.isend(9, b"z" * 2000, 1)
+            # isend returns immediately; csend would have blocked on the
+            # DMA and flow control.
+            issued_at = machine.now - t0
+            yield from nx.msgwait(handle)
+            return issued_at
+        yield from nx.crecv(9, 0)
+        return None
+
+    results = _run_ranks(machine, world, body)
+    assert results[0] == 0.0

@@ -1,0 +1,309 @@
+"""Tests for the RPC and BSP libraries (the paper's other section-3 APIs)."""
+
+import struct
+
+import pytest
+
+from repro import Machine, VMMCRuntime
+from repro.msg import BSPWorld, RPCClient, RPCError, RPCServer
+
+
+def _machine(num_nodes):
+    machine = Machine(num_nodes=num_nodes)
+    runtime = VMMCRuntime(machine)
+    return machine, runtime
+
+
+def _run(machine, *procs):
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+
+
+# ------------------------------------------------------------------- RPC --
+
+def _calc_server(runtime, machine, node=0):
+    server = RPCServer(runtime)
+    endpoint = runtime.endpoint(machine.create_process(node))
+
+    def add(payload):
+        a, b = struct.unpack("<ii", payload)
+        return struct.pack("<i", a + b)
+
+    def echo(payload):
+        return payload
+
+    def slow_square(payload):
+        # A generator handler: charges simulated server CPU time.
+        (x,) = struct.unpack("<i", payload)
+        yield from endpoint.node.cpu.busy(100.0, "computation")
+        return struct.pack("<i", x * x)
+
+    def broken(payload):
+        raise RuntimeError("server bug")
+
+    server.register("add", add)
+    server.register("echo", echo)
+    server.register("slow_square", slow_square)
+    server.register("broken", broken)
+    machine.sim.spawn(server.serve(endpoint, "calc"), "rpc-server")
+    return server
+
+
+def test_rpc_basic_call():
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        reply = yield from rpc.call("add", struct.pack("<ii", 20, 22))
+        return struct.unpack("<i", reply)[0]
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+    assert proc.result == 42
+
+
+def test_rpc_sequential_calls_keep_order():
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        out = []
+        for i in range(10):
+            reply = yield from rpc.call("echo", bytes([i]) * 8)
+            out.append(reply)
+        return out
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+    assert proc.result == [bytes([i]) * 8 for i in range(10)]
+
+
+def test_rpc_generator_handler_charges_time():
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        t0 = machine.now
+        reply = yield from rpc.call("slow_square", struct.pack("<i", 7))
+        return struct.unpack("<i", reply)[0], machine.now - t0
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+    value, elapsed = proc.result
+    assert value == 49
+    assert elapsed > 100.0  # includes the server's simulated work
+
+
+def test_rpc_unknown_procedure():
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        with pytest.raises(RPCError, match="no such procedure"):
+            yield from rpc.call("subtract", b"")
+        # The channel survives the error.
+        reply = yield from rpc.call("echo", b"ok")
+        return reply
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+    assert proc.result == b"ok"
+
+
+def test_rpc_handler_exception_maps_to_error():
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        with pytest.raises(RPCError, match="handler failed"):
+            yield from rpc.call("broken", b"")
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+
+
+def test_rpc_multiple_clients():
+    machine, runtime = _machine(4)
+    server = _calc_server(runtime, machine)
+
+    def client(node):
+        ep = runtime.endpoint(machine.create_process(node))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        total = 0
+        for i in range(5):
+            reply = yield from rpc.call("add", struct.pack("<ii", node, i))
+            total += struct.unpack("<i", reply)[0]
+        return total
+
+    procs = [machine.sim.spawn(client(n), f"c{n}") for n in (1, 2, 3)]
+    _run(machine, *procs)
+    for n, proc in zip((1, 2, 3), procs):
+        assert proc.result == sum(n + i for i in range(5))
+    assert server.calls_served == 15
+
+
+def test_rpc_duplicate_registration_rejected():
+    machine, runtime = _machine(2)
+    server = RPCServer(runtime)
+    server.register("p", lambda payload: b"")
+    with pytest.raises(ValueError):
+        server.register("p", lambda payload: b"")
+
+
+def test_rpc_roundtrip_latency_is_shrimp_fast():
+    """The fast-RPC design point: a null call completes in tens of us,
+    not the thousands a kernel-based stack would take."""
+    machine, runtime = _machine(2)
+    _calc_server(runtime, machine)
+
+    def client():
+        ep = runtime.endpoint(machine.create_process(1))
+        rpc = yield from RPCClient.bind(ep, "calc")
+        yield from rpc.call("echo", b"warm")
+        t0 = machine.now
+        yield from rpc.call("echo", b"x")
+        return machine.now - t0
+
+    proc = machine.sim.spawn(client(), "client")
+    _run(machine, proc)
+    assert proc.result < 60.0
+
+
+# ------------------------------------------------------------------- BSP --
+
+def _run_bsp(nprocs, body):
+    machine, runtime = _machine(nprocs)
+    world = BSPWorld(runtime, nprocs)
+
+    def worker(pid):
+        bsp = yield from world.join(pid, machine.create_process(pid))
+        result = yield from body(bsp, pid)
+        return result
+
+    procs = [machine.sim.spawn(worker(p), f"bsp{p}") for p in range(nprocs)]
+    _run(machine, *procs)
+    return machine, [p.result for p in procs]
+
+
+def test_bsp_puts_visible_after_sync():
+    def body(bsp, pid):
+        yield from bsp.put((pid + 1) % bsp.nprocs, tag=5, payload=bytes([pid]))
+        assert bsp.received() == []  # nothing visible before sync
+        yield from bsp.sync()
+        return bsp.received()
+
+    _machine_, results = _run_bsp(4, body)
+    for pid, received in enumerate(results):
+        assert received == [((pid - 1) % 4, 5, bytes([(pid - 1) % 4]))]
+
+
+def test_bsp_superstep_isolation():
+    """A put in superstep N is visible after sync N only, never earlier
+    and never mixed into later supersteps."""
+
+    def body(bsp, pid):
+        seen = []
+        for step in range(3):
+            dest = (pid + 1) % bsp.nprocs
+            yield from bsp.put(dest, tag=step, payload=bytes([step, pid]))
+            yield from bsp.sync()
+            seen.append(bsp.received())
+        return seen
+
+    _machine_, results = _run_bsp(3, body)
+    for pid, steps in enumerate(results):
+        src = (pid - 1) % 3
+        for step, received in enumerate(steps):
+            assert received == [(src, step, bytes([step, src]))]
+
+
+def test_bsp_self_put():
+    def body(bsp, pid):
+        yield from bsp.put(pid, tag=1, payload=b"me")
+        yield from bsp.sync()
+        return bsp.received()
+
+    _machine_, results = _run_bsp(2, body)
+    for pid, received in enumerate(results):
+        assert received == [(pid, 1, b"me")]
+
+
+def test_bsp_many_puts_one_superstep():
+    def body(bsp, pid):
+        for dest in range(bsp.nprocs):
+            for k in range(4):
+                yield from bsp.put(dest, tag=k, payload=bytes([pid, k]))
+        yield from bsp.sync()
+        return sorted(bsp.received())
+
+    _machine_, results = _run_bsp(3, body)
+    expected = sorted(
+        (src, k, bytes([src, k])) for src in range(3) for k in range(4)
+    )
+    for received in results:
+        assert received == expected
+
+
+def test_bsp_sync_is_a_barrier():
+    from repro.sim import Timeout
+
+    def body(bsp, pid):
+        yield Timeout(pid * 100.0)  # stagger arrival
+        enter = bsp.endpoint.sim.now
+        yield from bsp.sync()
+        return (enter, bsp.endpoint.sim.now)
+
+    _machine_, results = _run_bsp(4, body)
+    last_enter = max(enter for enter, _exit in results)
+    assert all(exit_t >= last_enter for _enter, exit_t in results)
+
+
+def test_bsp_prefix_sum_algorithm():
+    """A real BSP algorithm: log-step parallel prefix sums."""
+
+    def body(bsp, pid):
+        import struct as s
+
+        value = float(pid + 1)
+        distance = 1
+        while distance < bsp.nprocs:
+            if pid + distance < bsp.nprocs:
+                yield from bsp.put(pid + distance, 0, s.pack("<d", value))
+            yield from bsp.sync()
+            for _src, _tag, data in bsp.received():
+                value += s.unpack("<d", data)[0]
+            distance *= 2
+        return value
+
+    _machine_, results = _run_bsp(8, body)
+    assert results == [sum(range(1, p + 2)) for p in range(8)]
+
+
+def test_bsp_world_validation():
+    machine, runtime = _machine(2)
+    with pytest.raises(ValueError):
+        BSPWorld(runtime, 0)
+    world = BSPWorld(runtime, 2)
+    with pytest.raises(ValueError):
+        machine.sim.run_process(world.join(7, machine.create_process(0)))
+
+
+def test_bsp_single_process():
+    def body(bsp, pid):
+        yield from bsp.put(0, 9, b"solo")
+        yield from bsp.sync()
+        return bsp.received()
+
+    _machine_, results = _run_bsp(1, body)
+    assert results == [[(0, 9, b"solo")]]

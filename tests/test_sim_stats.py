@@ -1,0 +1,122 @@
+"""Unit tests for the measurement infrastructure and deterministic RNG."""
+
+import pytest
+
+from repro.sim import (
+    BREAKDOWN_CATEGORIES,
+    Accumulator,
+    Counter,
+    DeterministicRandom,
+    StatsRegistry,
+    TimeBreakdown,
+    derive_seed,
+)
+
+
+def test_counter_accumulates():
+    counter = Counter("c")
+    counter.add()
+    counter.add(5)
+    assert counter.value == 6
+
+
+def test_accumulator_statistics():
+    acc = Accumulator("a")
+    for v in (1.0, 3.0, 5.0):
+        acc.add(v)
+    assert acc.count == 3
+    assert acc.total == 9.0
+    assert acc.mean == 3.0
+    assert acc.min == 1.0
+    assert acc.max == 5.0
+
+
+def test_accumulator_empty_mean_is_zero():
+    assert Accumulator("a").mean == 0.0
+
+
+def test_breakdown_categories_match_figure4():
+    assert BREAKDOWN_CATEGORIES == (
+        "computation", "communication", "lock", "barrier", "overhead",
+    )
+
+
+def test_breakdown_charge_and_total():
+    bd = TimeBreakdown()
+    bd.charge("computation", 5.0)
+    bd.charge("barrier", 2.0)
+    assert bd.total == 7.0
+    assert bd.as_dict()["barrier"] == 2.0
+
+
+def test_breakdown_rejects_unknown_category():
+    with pytest.raises(ValueError):
+        TimeBreakdown().charge("sleeping", 1.0)
+
+
+def test_breakdown_mean():
+    a = TimeBreakdown(computation=4.0)
+    b = TimeBreakdown(computation=2.0, lock=2.0)
+    mean = TimeBreakdown.mean_of([a, b])
+    assert mean.computation == 3.0
+    assert mean.lock == 1.0
+
+
+def test_breakdown_mean_empty():
+    assert TimeBreakdown.mean_of([]).total == 0.0
+
+
+def test_registry_counters_and_samples():
+    stats = StatsRegistry()
+    stats.count("x")
+    stats.count("x", 2)
+    stats.sample("lat", 4.0)
+    stats.sample("lat", 6.0)
+    assert stats.counter_value("x") == 3
+    assert stats.counter_value("missing") == 0
+    assert stats.accumulator("lat").mean == 5.0
+
+
+def test_registry_breakdown_per_node():
+    stats = StatsRegistry()
+    stats.breakdown(0).charge("lock", 1.0)
+    stats.breakdown(1).charge("lock", 3.0)
+    assert stats.mean_breakdown().lock == 2.0
+
+
+def test_registry_snapshot_flat():
+    stats = StatsRegistry()
+    stats.count("a", 7)
+    stats.sample("b", 2.0)
+    snap = stats.snapshot()
+    assert snap["a"] == 7
+    assert snap["b.mean"] == 2.0
+    assert snap["b.count"] == 1
+
+
+def test_rng_same_seed_same_stream():
+    a = DeterministicRandom(42)
+    b = DeterministicRandom(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_rng_split_streams_differ_and_are_stable():
+    base = DeterministicRandom(42)
+    s1 = base.split("radix")
+    s2 = base.split("ocean")
+    assert s1.random() != s2.random()
+    again = DeterministicRandom(42).split("radix")
+    assert DeterministicRandom(42).split("radix").random() == again.random()
+
+
+def test_derive_seed_sensitivity():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+    assert derive_seed(1, "a", 1) != derive_seed(1, "a", 2)
+
+
+def test_rng_keys_helper():
+    rng = DeterministicRandom(7)
+    keys = rng.keys(100, 50)
+    assert len(keys) == 100
+    assert all(0 <= k < 50 for k in keys)

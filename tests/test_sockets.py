@@ -1,0 +1,234 @@
+"""Tests for the stream-sockets library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, VMMCRuntime
+from repro.msg import SocketAPI
+
+
+def _setup(num_nodes=2, transport="du"):
+    machine = Machine(num_nodes=num_nodes)
+    runtime = VMMCRuntime(machine)
+    api = SocketAPI(runtime, transport=transport)
+    eps = [runtime.endpoint(machine.create_process(i)) for i in range(num_nodes)]
+    return machine, api, eps
+
+
+def _run(machine, *gens):
+    procs = [machine.sim.spawn(g, f"t{i}") for i, g in enumerate(gens)]
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+    return [p.result for p in procs]
+
+
+def test_connect_accept_and_echo():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 80).accept()
+        request = yield from conn.recv_exactly(5)
+        yield from conn.send(request[::-1])
+        return conn.peer_node
+
+    def client():
+        conn = yield from api.connect(eps[1], 80)
+        yield from conn.send(b"hello")
+        reply = yield from conn.recv_exactly(5)
+        return reply
+
+    peer, reply = _run(machine, server(), client())
+    assert peer == 1
+    assert reply == b"olleh"
+
+
+def test_byte_stream_ignores_send_boundaries():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 81).accept()
+        for chunk in (b"ab", b"cde", b"f"):
+            yield from conn.send(chunk)
+
+    def client():
+        conn = yield from api.connect(eps[1], 81)
+        data = yield from conn.recv_exactly(6)
+        return data
+
+    _, data = _run(machine, server(), client())
+    assert data == b"abcdef"
+
+
+def test_recv_inexact_returns_available():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 82).accept()
+        yield from conn.send(b"xy")
+
+    def client():
+        conn = yield from api.connect(eps[1], 82)
+        data = yield from conn.recv(100, exact=False)
+        return data
+
+    _, data = _run(machine, server(), client())
+    assert data == b"xy"
+
+
+def test_close_gives_eof():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 83).accept()
+        yield from conn.send(b"bye")
+        yield from conn.close()
+
+    def client():
+        conn = yield from api.connect(eps[1], 83)
+        data = yield from conn.recv_exactly(3)
+        eof = yield from conn.recv(10)
+        return (data, eof)
+
+    _, (data, eof) = _run(machine, server(), client())
+    assert data == b"bye"
+    assert eof == b""
+
+
+def test_recv_exactly_raises_on_early_close():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 84).accept()
+        yield from conn.send(b"ab")
+        yield from conn.close()
+
+    def client():
+        conn = yield from api.connect(eps[1], 84)
+        with pytest.raises(RuntimeError, match="closed"):
+            yield from conn.recv_exactly(10)
+
+    _run(machine, server(), client())
+
+
+def test_multiple_connections_one_listener():
+    machine, api, eps = _setup(num_nodes=3)
+
+    def server():
+        listener = api.listen(eps[0], 85)
+        results = []
+        for _ in range(2):
+            conn = yield from listener.accept()
+            data = yield from conn.recv_exactly(1)
+            results.append((conn.peer_node, data))
+        return sorted(results)
+
+    def client(i):
+        conn = yield from api.connect(eps[i], 85)
+        yield from conn.send(bytes([i]))
+
+    results, _, _ = _run(machine, server(), client(1), client(2))
+    assert results == [(1, b"\x01"), (2, b"\x02")]
+
+
+def test_large_transfer_data_integrity():
+    machine, api, eps = _setup()
+    blob = bytes(range(256)) * 512  # 128 KB
+
+    def server():
+        conn = yield from api.listen(eps[0], 86).accept()
+        yield from conn.send_block(blob)
+
+    def client():
+        conn = yield from api.connect(eps[1], 86)
+        data = yield from conn.recv_exactly(len(blob))
+        return data
+
+    _, data = _run(machine, server(), client())
+    assert data == blob
+    assert machine.stats.counter_value("sockets.block_sends") == 1
+
+
+def test_bidirectional_traffic():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 87).accept()
+        for i in range(10):
+            n = yield from conn.recv_exactly(1)
+            yield from conn.send(bytes([n[0] + 1]))
+
+    def client():
+        conn = yield from api.connect(eps[1], 87)
+        value = 0
+        for _ in range(10):
+            yield from conn.send(bytes([value]))
+            reply = yield from conn.recv_exactly(1)
+            value = reply[0]
+        return value
+
+    _, value = _run(machine, server(), client())
+    assert value == 10
+
+
+def test_au_transport_sockets():
+    machine, api, eps = _setup(transport="au")
+
+    def server():
+        conn = yield from api.listen(eps[0], 88).accept()
+        yield from conn.send(b"via-automatic-update" * 50)
+
+    def client():
+        conn = yield from api.connect(eps[1], 88)
+        data = yield from conn.recv_exactly(20 * 50)
+        return data
+
+    _, data = _run(machine, server(), client())
+    assert data == b"via-automatic-update" * 50
+    assert machine.stats.counter_value("au.bytes") > 0
+
+
+def test_send_on_closed_connection_rejected():
+    machine, api, eps = _setup()
+
+    def server():
+        conn = yield from api.listen(eps[0], 89).accept()
+        yield from conn.close()
+        with pytest.raises(RuntimeError):
+            yield from conn.send(b"zombie")
+
+    def client():
+        conn = yield from api.connect(eps[1], 89)
+        data = yield from conn.recv(1)
+        return data
+
+    _run(machine, server(), client())
+
+
+def test_transport_validation():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    with pytest.raises(ValueError):
+        SocketAPI(runtime, transport="smoke-signals")
+
+
+@settings(max_examples=10, deadline=None)
+@given(chunks=st.lists(st.binary(min_size=1, max_size=400), min_size=1,
+                       max_size=12))
+def test_stream_roundtrip_property(chunks):
+    """Arbitrary chunk sequences arrive byte-exactly as one stream."""
+    machine, api, eps = _setup()
+    total = b"".join(chunks)
+
+    def server():
+        conn = yield from api.listen(eps[0], 90).accept()
+        for chunk in chunks:
+            yield from conn.send(chunk)
+
+    def client():
+        conn = yield from api.connect(eps[1], 90)
+        data = yield from conn.recv_exactly(len(total))
+        return data
+
+    _, data = _run(machine, server(), client())
+    assert data == total

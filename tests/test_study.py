@@ -1,0 +1,135 @@
+"""Tests for the experiment harness: configs, runner, tables, figures."""
+
+import pytest
+
+from repro.study import (
+    CONFIGS,
+    SUITE,
+    ExperimentRunner,
+    config,
+    figure3,
+    figure4_du_au,
+    figure4_svm,
+    format_figure3,
+    format_table,
+    format_table1,
+    spec,
+    table1,
+)
+from repro.study.report import format_series
+
+
+def test_all_paper_configs_exist():
+    assert {"baseline", "kernel_send", "interrupt_all", "no_combining",
+            "fifo_1k", "fifo_32k", "du_queue_2", "no_au"} <= set(CONFIGS)
+
+
+def test_config_materializes_nic_and_params():
+    kernel = config("kernel_send")
+    assert kernel.nic_config().user_level_dma is False
+    fifo = config("fifo_1k")
+    assert fifo.nic_config().fifo_capacity == 1024
+    base = config("baseline")
+    assert base.nic_config().user_level_dma is True
+    assert base.params().page_size == 4096
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ValueError):
+        config("overclocked")
+
+
+def test_suite_covers_table1():
+    assert set(SUITE) == {
+        "Barnes-SVM", "Ocean-SVM", "Radix-SVM", "Radix-VMMC",
+        "Barnes-NX", "Ocean-NX", "DFS-sockets", "Render-sockets",
+    }
+    for app_spec in SUITE.values():
+        app = app_spec.factory("du")
+        assert app.name == app_spec.name
+
+
+def test_spec_lookup():
+    assert spec("Radix-SVM").api == "SVM"
+    with pytest.raises(ValueError):
+        spec("Linpack")
+
+
+def test_runner_caches_identical_runs():
+    runner = ExperimentRunner()
+    first = runner.run("Radix-VMMC", 2)
+    second = runner.run("Radix-VMMC", 2)
+    assert first is second
+    third = runner.run("Radix-VMMC", 2, "kernel_send")
+    assert third is not first
+
+
+def test_runner_mode_and_protocol_selection():
+    runner = ExperimentRunner()
+    au = runner.run("Radix-VMMC", 2, mode="au")
+    du = runner.run("Radix-VMMC", 2, mode="du")
+    assert au is not du
+    hlrc = runner.run("Radix-SVM", 2, protocol="hlrc")
+    aurc = runner.run("Radix-SVM", 2, protocol="aurc")
+    assert hlrc.elapsed_us != aurc.elapsed_us or hlrc is not aurc
+
+
+def test_runner_protocol_rejected_for_non_svm():
+    runner = ExperimentRunner()
+    with pytest.raises(ValueError):
+        runner.run("Radix-VMMC", 2, protocol="aurc")
+
+
+def test_slowdown_percent_sign():
+    runner = ExperimentRunner()
+    slow = runner.slowdown_percent("Radix-VMMC", 2, "kernel_send", mode="du")
+    assert slow > 0  # syscalls can only slow a run down
+
+
+def test_speedup_definition():
+    runner = ExperimentRunner()
+    speedup = runner.speedup("Barnes-NX", 2, mode="du")
+    assert speedup > 1.0
+
+
+def test_table1_runs_at_small_scale():
+    runner = ExperimentRunner()
+    rows = table1(runner)
+    assert {r["app"] for r in rows} == set(SUITE)
+    assert all(r["seq_time_ms"] > 0 for r in rows)
+    text = format_table1(rows)
+    assert "Table 1" in text
+    assert "Radix-VMMC" in text
+
+
+def test_figure_generators_shape():
+    runner = ExperimentRunner()
+    curves = figure3(runner, node_counts=(1, 2))
+    assert set(curves) == {
+        "Ocean-NX", "Radix-VMMC", "Barnes-NX", "Radix-SVM", "Ocean-SVM",
+        "Barnes-SVM",
+    }
+    for points in curves.values():
+        assert [n for n, _s in points] == [1, 2]
+    text = format_figure3(curves)
+    assert "Figure 3" in text
+
+
+def test_figure4_rows_structure():
+    runner = ExperimentRunner()
+    rows = figure4_svm(runner, nprocs=2)
+    assert len(rows) == 9  # 3 apps x 3 protocols
+    protocols = [r["protocol"] for r in rows[:3]]
+    assert protocols == ["hlrc", "hlrc-au", "aurc"]
+    assert rows[0]["normalized"] == pytest.approx(1.0)
+    du_au = figure4_du_au(runner, nprocs=2)
+    assert {r["app"] for r in du_au} == {"Radix-VMMC", "Ocean-NX", "Barnes-NX"}
+
+
+def test_report_formatting():
+    table = format_table("T", ["a", "bb"], [[1, 2.5], ["xx", "y"]])
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "2.50" in table
+    series = format_series("S", "x", {"s1": [(1, 2.0)], "s2": [(1, 3.0), (2, 4.0)]})
+    assert "s1" in series and "4.00" in series

@@ -1,0 +1,176 @@
+"""Tests for the SunRPC-compatible layer and its XDR marshalling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, VMMCRuntime
+from repro.msg import (
+    RPCClient,
+    RPCError,
+    RPCServer,
+    SunRPCClient,
+    SunRPCServer,
+    XDRError,
+    xdr_decode,
+    xdr_encode,
+)
+
+
+# -------------------------------------------------------------------- XDR --
+
+def test_xdr_scalar_roundtrips():
+    for value in (0, 1, -1, 2**31 - 1, -(2**31), True, False, 3.25, -0.5,
+                  "", "hello", "uniçode", b"", b"\x00\xff\x01"):
+        assert xdr_decode(xdr_encode(value)) == [value]
+
+
+def test_xdr_bool_is_not_int():
+    assert xdr_decode(xdr_encode(True)) == [True]
+    assert xdr_decode(xdr_encode(1)) == [1]
+    assert isinstance(xdr_decode(xdr_encode(True))[0], bool)
+
+
+def test_xdr_list_roundtrip():
+    value = [1, "two", 3.0, [True, b"four"], []]
+    assert xdr_decode(xdr_encode(value)) == [value]
+
+
+def test_xdr_concatenation_decodes_in_order():
+    blob = xdr_encode(1) + xdr_encode("a") + xdr_encode([2.5])
+    assert xdr_decode(blob) == [1, "a", [2.5]]
+
+
+def test_xdr_strings_are_4_byte_aligned():
+    assert len(xdr_encode("abc")) % 4 == 0
+    assert len(xdr_encode("abcd")) % 4 == 0
+    assert len(xdr_encode(b"12345")) % 4 == 0
+
+
+def test_xdr_big_endian_int():
+    encoded = xdr_encode(1)
+    assert encoded[4:] == b"\x00\x00\x00\x01"  # network byte order
+
+
+def test_xdr_rejects_unsupported():
+    with pytest.raises(XDRError):
+        xdr_encode({"a": 1})
+    with pytest.raises(XDRError):
+        xdr_encode(2**40)
+
+
+def test_xdr_rejects_truncation():
+    blob = xdr_encode("hello")
+    with pytest.raises(XDRError):
+        xdr_decode(blob[:-5])  # cut into the string body itself
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    value=st.recursive(
+        st.one_of(
+            st.integers(-(2**31), 2**31 - 1),
+            st.booleans(),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=40),
+            st.binary(max_size=40),
+        ),
+        lambda children: st.lists(children, max_size=5),
+        max_leaves=15,
+    )
+)
+def test_xdr_roundtrip_property(value):
+    assert xdr_decode(xdr_encode(value)) == [value]
+
+
+# ------------------------------------------------------------------- RPC --
+
+def _serve(machine, runtime, procedures, service="sun"):
+    server = SunRPCServer(runtime)
+    for name, func in procedures.items():
+        server.register(name, func)
+    endpoint = runtime.endpoint(machine.create_process(0))
+    machine.sim.spawn(server.serve(endpoint, service), "sunrpc-server")
+    return server
+
+
+def test_sunrpc_typed_call():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    _serve(machine, runtime, {
+        "concat": lambda a, b: a + b,
+        "stats": lambda values: [min(values), max(values), sum(values)],
+    })
+
+    def client():
+        rpc = yield from SunRPCClient.bind(
+            runtime.endpoint(machine.create_process(1)), "sun"
+        )
+        joined = yield from rpc.call("concat", "foo", "bar")
+        summary = yield from rpc.call("stats", [3, 1, 4, 1, 5])
+        return joined, summary
+
+    proc = machine.sim.spawn(client(), "client")
+    machine.sim.run()
+    assert proc.done
+    assert proc.result == ("foobar", [1, 5, 14])
+
+
+def test_sunrpc_error_propagates():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    _serve(machine, runtime, {"div": lambda a, b: a // b})
+
+    def client():
+        rpc = yield from SunRPCClient.bind(
+            runtime.endpoint(machine.create_process(1)), "sun"
+        )
+        with pytest.raises(RPCError):
+            yield from rpc.call("div", 1, 0)
+        value = yield from rpc.call("div", 10, 3)
+        return value
+
+    proc = machine.sim.spawn(client(), "client")
+    machine.sim.run()
+    assert proc.done and proc.result == 3
+
+
+def test_sunrpc_slower_than_specialized_rpc():
+    """The paper's reason for building the *specialized* library: the
+    compatible one pays for marshalling on every call."""
+
+    def measure(kind):
+        machine = Machine(num_nodes=2)
+        runtime = VMMCRuntime(machine)
+        payload = list(range(64))
+        if kind == "sun":
+            _serve(machine, runtime, {"echo": lambda values: values})
+        else:
+            server = RPCServer(runtime)
+            server.register("echo", lambda data: data)
+            endpoint = runtime.endpoint(machine.create_process(0))
+            machine.sim.spawn(server.serve(endpoint, "sun"), "server")
+        marks = {}
+
+        def client():
+            endpoint = runtime.endpoint(machine.create_process(1))
+            if kind == "sun":
+                rpc = yield from SunRPCClient.bind(endpoint, "sun")
+                yield from rpc.call("echo", payload)  # warm
+                t0 = machine.now
+                yield from rpc.call("echo", payload)
+            else:
+                rpc = yield from RPCClient.bind(endpoint, "sun")
+                import struct as s
+
+                raw = s.pack("<64i", *payload)
+                yield from rpc.call("echo", raw)
+                t0 = machine.now
+                yield from rpc.call("echo", raw)
+            marks["lat"] = machine.now - t0
+
+        proc = machine.sim.spawn(client(), "client")
+        machine.sim.run()
+        assert proc.done
+        return marks["lat"]
+
+    assert measure("sun") > 1.2 * measure("fast")

@@ -1,0 +1,166 @@
+"""Unit/property tests for twins & diffs and the write-notice board."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svm import (
+    IntervalRecord,
+    NoticeBoard,
+    apply_diff,
+    compute_diff,
+    decode_diff,
+    diff_wire_bytes,
+    encode_diff,
+)
+
+
+# ----------------------------------------------------------------- diffs --
+
+def test_identical_pages_have_empty_diff():
+    page = bytes(range(256)) * 4
+    assert compute_diff(page, page) == []
+
+
+def test_single_word_change():
+    twin = bytearray(1024)
+    current = bytearray(1024)
+    current[100:104] = b"ABCD"
+    diff = compute_diff(bytes(twin), bytes(current))
+    assert diff == [(100, b"ABCD")]
+
+
+def test_adjacent_words_merge_into_one_run():
+    twin = bytearray(1024)
+    current = bytearray(1024)
+    current[40:52] = b"x" * 12  # three consecutive words
+    diff = compute_diff(bytes(twin), bytes(current))
+    assert len(diff) == 1
+    assert diff[0] == (40, b"x" * 12)
+
+
+def test_separate_runs_stay_separate():
+    twin = bytearray(1024)
+    current = bytearray(twin)
+    current[0:4] = b"aaaa"
+    current[512:516] = b"bbbb"
+    diff = compute_diff(bytes(twin), bytes(current))
+    assert [off for off, _ in diff] == [0, 512]
+
+
+def test_run_reaching_page_end():
+    twin = bytearray(64)
+    current = bytearray(twin)
+    current[60:64] = b"tail"
+    diff = compute_diff(bytes(twin), bytes(current))
+    assert diff == [(60, b"tail")]
+
+
+def test_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        compute_diff(bytes(8), bytes(12))
+
+
+def test_apply_diff_out_of_range_rejected():
+    page = bytearray(16)
+    with pytest.raises(ValueError):
+        apply_diff(page, [(12, b"toolong")])
+
+
+def test_encode_decode_roundtrip():
+    diff = [(0, b"head"), (100, b"middle12"), (1000, b"tail")]
+    assert decode_diff(encode_diff(diff)) == diff
+    assert diff_wire_bytes(diff) == sum(4 + len(d) for _o, d in diff)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    changes=st.lists(
+        st.tuples(st.integers(0, 255), st.binary(min_size=4, max_size=4)),
+        max_size=30,
+    )
+)
+def test_diff_apply_reconstructs_page(changes):
+    """twin + diff(twin, current) == current, for any word changes."""
+    twin = bytes(range(256)) * 4
+    current = bytearray(twin)
+    for word, data in changes:
+        current[word * 4 : word * 4 + 4] = data
+    diff = compute_diff(twin, bytes(current))
+    rebuilt = bytearray(twin)
+    apply_diff(rebuilt, diff)
+    assert bytes(rebuilt) == bytes(current)
+    # And the encoding round-trips.
+    assert decode_diff(encode_diff(diff)) == diff
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    words_a=st.sets(st.integers(0, 127), max_size=20),
+    words_b=st.sets(st.integers(128, 255), max_size=20),
+)
+def test_disjoint_diffs_merge_commutatively(words_a, words_b):
+    """Two writers touching disjoint words merge to the same page in
+    either apply order (the multiple-writer property HLRC relies on)."""
+    base = bytes(1024)
+    page_a = bytearray(base)
+    page_b = bytearray(base)
+    for w in words_a:
+        page_a[w * 4 : w * 4 + 4] = b"AAAA"
+    for w in words_b:
+        page_b[w * 4 : w * 4 + 4] = b"BBBB"
+    diff_a = compute_diff(base, bytes(page_a))
+    diff_b = compute_diff(base, bytes(page_b))
+
+    ab = bytearray(base)
+    apply_diff(ab, diff_a)
+    apply_diff(ab, diff_b)
+    ba = bytearray(base)
+    apply_diff(ba, diff_b)
+    apply_diff(ba, diff_a)
+    assert ab == ba
+
+
+# ----------------------------------------------------------------- board --
+
+def test_publish_assigns_increasing_intervals():
+    board = NoticeBoard(4)
+    r1 = board.publish(0, [1, 2])
+    r2 = board.publish(0, [3])
+    assert (r1.interval, r2.interval) == (1, 2)
+    assert board.latest(0) == 2
+    assert board.latest(1) == 0
+
+
+def test_records_since_clock():
+    board = NoticeBoard(2)
+    board.publish(0, [1])
+    board.publish(1, [2])
+    board.publish(0, [3])
+    records = board.records_since([1, 0])
+    assert {(r.node, r.interval) for r in records} == {(0, 2), (1, 1)}
+
+
+def test_pages_to_invalidate_excludes_own_intervals():
+    board = NoticeBoard(2)
+    board.publish(0, [10, 11])
+    board.publish(1, [11, 12])
+    pages, clock, payload = board.pages_to_invalidate([0, 0], reader_node=0)
+    assert pages == {11, 12}
+    assert clock == [1, 1]
+    assert payload > 0
+
+
+def test_invalidation_advances_clock_idempotently():
+    board = NoticeBoard(2)
+    board.publish(1, [5])
+    pages1, clock, _ = board.pages_to_invalidate([0, 0], 0)
+    pages2, clock2, payload2 = board.pages_to_invalidate(clock, 0)
+    assert pages1 == {5}
+    assert pages2 == set()
+    assert clock2 == clock
+    assert payload2 == 0
+
+
+def test_interval_record_wire_size():
+    record = IntervalRecord(0, 1, frozenset({1, 2, 3}))
+    assert record.notice_bytes == 8 + 12

@@ -1,0 +1,203 @@
+"""Tests for the SVM fabric plumbing and the eager single-writer protocol."""
+
+import pytest
+
+from repro import Machine, MachineParams, VMMCRuntime
+from repro.svm import EagerProtocol, SharedArray, make_protocol
+from repro.svm.fabric import SVMFabric
+
+PAGE_1K = MachineParams().with_overrides(page_size=1024)
+
+
+def _run(machine, *procs):
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+
+
+# ---------------------------------------------------------------- fabric --
+
+def test_fabric_request_raises_notification():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    fabric = SVMFabric(runtime, 2)
+    handled = []
+
+    def handler_a(src, rtype, data):
+        handled.append(("a", src, rtype, data))
+        return None
+
+    def handler_b(src, rtype, data):
+        handled.append(("b", src, rtype, data))
+        return None
+
+    def node_a():
+        link = yield from fabric.join(
+            0, runtime.endpoint(machine.create_process(0)), handler_a
+        )
+        yield from link.send_request(1, 42, b"ping")
+        rtype, payload = yield from link.recv_reply(1)
+        return (rtype, payload)
+
+    def node_b():
+        link = yield from fabric.join(
+            1, runtime.endpoint(machine.create_process(1)), handler_b
+        )
+        # Daemon handles the request; reply from the app side after a wait.
+        from repro.sim import Timeout
+
+        while not handled:
+            yield Timeout(5.0)
+        yield from link.send_reply(0, 43, b"pong")
+
+    a = machine.sim.spawn(node_a(), "a")
+    b = machine.sim.spawn(node_b(), "b")
+    _run(machine, a, b)
+    assert handled == [("b", 0, 42, b"ping")]
+    assert a.result == (43, b"pong")
+    assert machine.stats.counter_value("vmmc.notifications") == 1
+
+
+def test_fabric_fence_is_silent():
+    """Fence records order traffic but never disturb the daemon."""
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    fabric = SVMFabric(runtime, 2)
+    handled = []
+
+    def handler(src, rtype, data):
+        handled.append(rtype)
+        return None
+
+    def node_a():
+        link = yield from fabric.join(
+            0, runtime.endpoint(machine.create_process(0)), handler
+        )
+        yield from link.send_fence(1)
+        yield from link.send_request(1, 7, b"real")
+
+    def node_b():
+        yield from fabric.join(
+            1, runtime.endpoint(machine.create_process(1)), handler
+        )
+
+    a = machine.sim.spawn(node_a(), "a")
+    b = machine.sim.spawn(node_b(), "b")
+    _run(machine, a, b)
+    # Only the real request raised a notification; the daemon's drain loop
+    # consumed (and ignored) the fence record via the protocol handler.
+    assert machine.stats.counter_value("vmmc.notifications") == 1
+
+
+# ----------------------------------------------------------------- eager --
+
+def _run_eager(nprocs, body):
+    machine = Machine(num_nodes=nprocs, params=PAGE_1K)
+    runtime = VMMCRuntime(machine)
+    svm = make_protocol("eager", runtime, nprocs)
+    results = {}
+
+    def worker(i):
+        node = yield from svm.join(i, machine.create_process(i))
+        arr = yield from SharedArray.create(node, "arr", 512, "i4")
+        yield from node.barrier()
+        if i == 0:
+            arr.init_global([0] * 512)
+        yield from node.barrier()
+        results[i] = yield from body(node, arr, i)
+
+    procs = [machine.sim.spawn(worker(i), f"w{i}") for i in range(nprocs)]
+    _run(machine, *procs)
+    return machine, results, svm
+
+
+def test_eager_registered_in_protocol_table():
+    machine = Machine(num_nodes=2)
+    runtime = VMMCRuntime(machine)
+    protocol = make_protocol("eager", runtime, 2)
+    assert isinstance(protocol, EagerProtocol)
+    assert protocol.uses_au_bindings
+
+
+def test_eager_single_writer_ownership():
+    """After a write, the home records exactly one owner."""
+
+    def body(node, arr, i):
+        if i == 1:
+            yield from arr.set(300, 99)  # page homed at node 1 of 2
+        yield from node.barrier()
+        value = yield from arr.get(300)
+        return value
+
+    machine, results, svm = _run_eager(2, body)
+    assert all(v == 99 for v in results.values())
+    gpage = 300 * 4 // 1024  # page index == gpage here (first region)
+    assert svm.owners[gpage] == 1
+
+
+def test_eager_invalidates_other_copies_immediately():
+    def body(node, arr, i):
+        # Both read page 0 first (both enter the copyset)...
+        yield from arr.get(0)
+        yield from node.barrier()
+        # ...then node 0 writes it: node 1's copy must be invalidated.
+        if i == 0:
+            yield from arr.set(0, 123)
+        yield from node.barrier()
+        value = yield from arr.get(0)
+        return value
+
+    machine, results, _svm = _run_eager(2, body)
+    assert all(v == 123 for v in results.values())
+    assert machine.stats.counter_value("svm.invalidations") >= 1
+    assert machine.stats.counter_value("svm.ownership_transfers") >= 1
+
+
+def test_eager_ping_pong_costs_transfers():
+    """Alternating writers to one page transfer ownership repeatedly."""
+
+    def body(node, arr, i):
+        for round_no in range(6):
+            yield from node.acquire(1)
+            value = yield from arr.get(0)
+            yield from arr.set(0, value + 1)
+            yield from node.release(1)
+        yield from node.barrier()
+        value = yield from arr.get(0)
+        return value
+
+    machine, results, _svm = _run_eager(2, body)
+    assert all(v == 12 for v in results.values())
+    # Ownership moved many times (the protocol's pathology).
+    assert machine.stats.counter_value("svm.ownership_transfers") >= 6
+
+
+def test_eager_slower_than_lazy_on_false_sharing():
+    """At unit-test scale the gap is small (the full-scale factor is
+    asserted in benchmarks/test_ablations.py); here we only require the
+    ordering: eager consistency pays for its ownership traffic."""
+    def strided(node, arr, i):
+        # A scattered pattern (disjoint indices per node) that keeps every
+        # node bouncing between the region's pages, forcing ownership
+        # ping-pong under eager.
+        for k in range(64):
+            yield from arr.set((i + ((k * 37) % 128) * 4) % 512, k)
+        yield from node.barrier()
+        return True
+
+    def run(protocol):
+        machine = Machine(num_nodes=4, params=PAGE_1K)
+        runtime = VMMCRuntime(machine)
+        svm = make_protocol(protocol, runtime, 4)
+
+        def worker(i):
+            node = yield from svm.join(i, machine.create_process(i))
+            arr = yield from SharedArray.create(node, "arr", 512, "i4")
+            yield from node.barrier()
+            yield from strided(node, arr, i)
+
+        procs = [machine.sim.spawn(worker(i), f"w{i}") for i in range(4)]
+        _run(machine, *procs)
+        return machine.now
+
+    assert run("eager") > run("aurc")

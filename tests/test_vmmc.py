@@ -1,0 +1,352 @@
+"""Unit/integration tests for the VMMC library over the full NIC stack."""
+
+import pytest
+
+from repro import Machine, NICConfig, VMMCRuntime
+from repro.vmmc import BindingError, PermissionError_, VMMCError
+
+
+def _setup(num_nodes=4, nic_config=None, params=None):
+    machine = Machine(num_nodes=num_nodes, nic_config=nic_config, params=params)
+    runtime = VMMCRuntime(machine)
+    endpoints = [
+        runtime.endpoint(machine.create_process(i)) for i in range(num_nodes)
+    ]
+    return machine, runtime, endpoints
+
+
+def _run(machine, *gens):
+    procs = [machine.sim.spawn(g, f"t{i}") for i, g in enumerate(gens)]
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+    return [p.result for p in procs]
+
+
+def test_export_pins_pages_and_registers_frames():
+    machine, runtime, eps = _setup()
+
+    def exporter():
+        buffer = yield from eps[0].export(10000, name="buf")
+        return buffer
+
+    (buffer,) = _run(machine, exporter())
+    assert buffer.npages == 3  # 10000 bytes -> 3 pages
+    assert runtime.directory["buf"] is buffer
+    assert machine.stats.counter_value("kernel.pinned_pages") == 3
+    for frame in buffer.frames:
+        assert machine.nodes[0].nic.ipt.lookup(frame) is not None
+
+
+def test_import_blocks_until_export():
+    machine, runtime, eps = _setup()
+    t = {}
+
+    def importer():
+        imported = yield from eps[1].import_buffer("later")
+        t["import"] = machine.now
+        return imported
+
+    def exporter():
+        from repro.sim import Timeout
+
+        yield Timeout(50.0)
+        yield from eps[0].export(4096, name="later")
+
+    imported, _ = _run(machine, importer(), exporter())
+    assert t["import"] >= 50.0
+    assert imported.remote_node == 0
+
+
+def test_import_permission_denied():
+    machine, runtime, eps = _setup()
+
+    def exporter():
+        yield from eps[0].export(4096, name="private", allow_nodes={2})
+
+    def importer():
+        with pytest.raises(PermissionError_):
+            yield from eps[1].import_buffer("private")
+
+    def allowed():
+        imported = yield from eps[2].import_buffer("private")
+        return imported
+
+    _run(machine, exporter(), importer(), allowed())
+
+
+def test_send_transfers_real_bytes():
+    machine, runtime, eps = _setup()
+    payload = bytes(range(256)) * 8  # 2048 bytes
+
+    def receiver():
+        buffer = yield from eps[1].export(4096, name="rx")
+        yield from eps[1].wait_bytes(buffer, len(payload))
+        return eps[1].read_buffer(buffer, 1024, len(payload))
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, payload)
+        yield from eps[0].send(imported, src, len(payload), dst_offset=1024)
+
+    received, _ = _run(machine, receiver(), sender())
+    assert received == payload
+
+
+def test_send_validates_bounds():
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        yield from eps[1].export(4096, name="rx")
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        with pytest.raises(VMMCError):
+            yield from eps[0].send(imported, src, 4096, dst_offset=1)
+        with pytest.raises(VMMCError):
+            yield from eps[0].send(imported, src, 0)
+
+    _run(machine, receiver(), sender())
+
+
+def test_send_splits_at_page_boundaries():
+    """A 3-page send must become (at least) 3 DU transfers."""
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        buffer = yield from eps[1].export(3 * 4096, name="rx")
+        yield from eps[1].wait_bytes(buffer, 3 * 4096)
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(3 * 4096)
+        eps[0].poke(src, b"q" * (3 * 4096))
+        requests = yield from eps[0].send(imported, src, 3 * 4096)
+        return len(requests)
+
+    _, nrequests = _run(machine, receiver(), sender())
+    assert nrequests == 3
+    assert machine.stats.counter_value("du.transfers") == 3
+    # But it still counts as ONE message.
+    assert machine.stats.counter_value("vmmc.messages_received") == 1
+
+
+def test_au_binding_requires_page_alignment():
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        yield from eps[1].export(4096, name="rx")
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        local = eps[0].alloc(4096)
+        with pytest.raises(BindingError):
+            yield from eps[0].bind_au(imported, local + 4, 1)
+        with pytest.raises(BindingError):
+            yield from eps[0].bind_au(imported, local, 2)  # overruns remote
+
+    _run(machine, receiver(), sender())
+
+
+def test_au_write_propagates_and_is_not_a_message():
+    machine, runtime, eps = _setup()
+    payload = b"AUTO" * 64
+
+    def receiver():
+        buffer = yield from eps[1].export(4096, name="rx")
+        yield from eps[1].wait_bytes(buffer, len(payload))
+        return eps[1].read_buffer(buffer, 0, len(payload))
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        local = eps[0].alloc(4096)
+        binding = yield from eps[0].bind_au(imported, local, 1)
+        yield from eps[0].au_write(local, payload)
+        yield from eps[0].au_flush()
+        return binding
+
+    received, binding = _run(machine, receiver(), sender())
+    assert received == payload
+    assert machine.stats.counter_value("vmmc.messages_received") == 0
+    assert binding.active
+
+
+def test_unbind_au_restores_page():
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        yield from eps[1].export(4096, name="rx")
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        local = eps[0].alloc(4096)
+        binding = yield from eps[0].bind_au(imported, local, 1)
+        eps[0].unbind_au(binding)
+        assert not binding.active
+        assert machine.nodes[0].nic.opt.au_binding_count() == 0
+        # Writes after unbind stay local.
+        yield from eps[0].au_write(local, b"LOCAL")
+        yield from eps[0].au_flush()
+
+    _run(machine, receiver(), sender())
+    assert machine.stats.counter_value("au.bytes") == 0
+
+
+def test_au_disabled_config_rejects_binding():
+    machine, runtime, eps = _setup(nic_config=NICConfig(automatic_update=False))
+
+    def receiver():
+        yield from eps[1].export(4096, name="rx")
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        local = eps[0].alloc(4096)
+        with pytest.raises(BindingError):
+            yield from eps[0].bind_au(imported, local, 1)
+
+    _run(machine, receiver(), sender())
+
+
+def test_notifications_are_delivered_to_handler():
+    machine, runtime, eps = _setup()
+    seen = []
+
+    def receiver():
+        buffer = yield from eps[1].export(
+            4096, name="rx", enable_notifications=True
+        )
+        eps[1].set_notification_handler(
+            lambda buf, packet: seen.append((buf.buffer_id, packet.data_bytes))
+        )
+        yield from eps[1].wait_bytes(buffer, 8)
+        return buffer
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, b"notified")
+        yield from eps[0].send(imported, src, 8, interrupt=True)
+
+    buffer, _ = _run(machine, receiver(), sender())
+    assert seen == [(buffer.buffer_id, 8)]
+    assert machine.stats.counter_value("vmmc.notifications") == 1
+    assert machine.stats.counter_value("kernel.notification_interrupts") == 1
+
+
+def test_no_notification_without_sender_bit():
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        buffer = yield from eps[1].export(
+            4096, name="rx", enable_notifications=True
+        )
+        eps[1].set_notification_handler(lambda buf, packet: None)
+        yield from eps[1].wait_bytes(buffer, 4)
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, b"poll")
+        yield from eps[0].send(imported, src, 4, interrupt=False)
+
+    _run(machine, receiver(), sender())
+    assert machine.stats.counter_value("vmmc.notifications") == 0
+
+
+def test_blocked_notifications_queue_and_drain():
+    machine, runtime, eps = _setup()
+    seen = []
+
+    def receiver():
+        from repro.sim import Timeout
+
+        buffer = yield from eps[1].export(
+            4096, name="rx", enable_notifications=True
+        )
+        eps[1].set_notification_handler(
+            lambda buf, packet: seen.append(machine.now)
+        )
+        eps[1].block_notifications()
+        yield from eps[1].wait_bytes(buffer, 4)
+        yield Timeout(500.0)
+        assert not seen  # queued but not delivered
+        assert eps[1].dispatcher.blocked
+        eps[1].unblock_notifications()
+        yield Timeout(100.0)
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, b"wait")
+        yield from eps[0].send(imported, src, 4, interrupt=True)
+
+    _run(machine, receiver(), sender())
+    assert len(seen) == 1
+
+
+def test_au_drain_orders_du_after_au():
+    """After au_drain, a DU fence to the same destination arrives after
+    all earlier automatic updates (the AURC release fence)."""
+    machine, runtime, eps = _setup()
+
+    def receiver():
+        buffer = yield from eps[1].export(2 * 4096, name="rx")
+        # Wait for the fence word at page 1.
+        yield from eps[1].wait_bytes(buffer, 4096 + 4)
+        return eps[1].read_buffer(buffer, 0, 4096)
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        local = eps[0].alloc(4096)
+        yield from eps[0].bind_au(imported, local, 1)
+        yield from eps[0].au_write(local, b"D" * 4096)
+        yield from eps[0].au_drain()
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, b"FNCE")
+        yield from eps[0].send(imported, src, 4, dst_offset=4096,
+                               sync_delivered=True)
+
+    page, _ = _run(machine, receiver(), sender())
+    assert page == b"D" * 4096
+
+
+def test_duplicate_endpoint_rejected():
+    machine, runtime, eps = _setup()
+    proc = machine.nodes[0].processes[1]
+    with pytest.raises(VMMCError):
+        runtime.endpoint(proc)
+
+
+def test_read_buffer_owner_only():
+    machine, runtime, eps = _setup()
+
+    def owner():
+        buffer = yield from eps[0].export(4096, name="mine")
+        return buffer
+
+    (buffer,) = _run(machine, owner())
+    with pytest.raises(VMMCError):
+        eps[1].read_buffer(buffer, 0, 4)
+
+
+def test_kernel_send_config_charges_syscall_per_message():
+    machine, runtime, eps = _setup(
+        nic_config=NICConfig(user_level_dma=False)
+    )
+
+    def receiver():
+        buffer = yield from eps[1].export(4096, name="rx")
+        yield from eps[1].wait_bytes(buffer, 8)
+
+    def sender():
+        imported = yield from eps[0].import_buffer("rx")
+        src = eps[0].alloc(4096)
+        eps[0].poke(src, b"12345678")
+        before = machine.stats.counter_value("kernel.syscalls")
+        yield from eps[0].send(imported, src, 8)
+        return machine.stats.counter_value("kernel.syscalls") - before
+
+    _, syscalls = _run(machine, receiver(), sender())
+    assert syscalls == 1
