@@ -18,13 +18,20 @@ Quick start::
 See ``examples/quickstart.py`` for a complete program.
 """
 
+from .faults import FaultConfig, FaultPlan
 from .hardware import DEFAULT_PARAMS, MachineParams
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
 from .sim import Simulator, Timeout
-from .vmmc import VMMCEndpoint, VMMCRuntime
+from .vmmc import (
+    DeliveryFailed,
+    ReliableChannel,
+    ReliableConfig,
+    VMMCEndpoint,
+    VMMCRuntime,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Machine",
@@ -36,6 +43,11 @@ __all__ = [
     "DEFAULT_NIC_CONFIG",
     "VMMCRuntime",
     "VMMCEndpoint",
+    "FaultConfig",
+    "FaultPlan",
+    "ReliableChannel",
+    "ReliableConfig",
+    "DeliveryFailed",
     "Simulator",
     "Timeout",
     "__version__",

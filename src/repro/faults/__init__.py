@@ -1,0 +1,15 @@
+"""Deterministic fault injection: what SHRIMP's reliable backplane hid.
+
+The SHRIMP hardware gave VMMC an in-order, loss-free fabric; every design
+choice in the paper leans on that.  This package supplies the opposite
+assumption as a controlled, seed-derived experiment axis: install a
+:class:`FaultPlan` on a machine and the backplane and NICs inject packet
+drops, corruption, link outages, receive-FIFO overflow discards and node
+stall/crash events — all reproducibly.  The reliable-delivery VMMC mode
+(:mod:`repro.vmmc.reliable`) is the endpoint-level answer, mirroring how
+VMMC's descendants survive commodity fabrics.
+"""
+
+from .plan import Fate, FaultConfig, FaultPlan
+
+__all__ = ["Fate", "FaultConfig", "FaultPlan"]

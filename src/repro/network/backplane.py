@@ -58,6 +58,9 @@ class Backplane:
         self._receivers: Dict[int, Callable[[Packet], None]] = {}
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        #: Installed by Machine.install_fault_plan; None means a perfect
+        #: fabric and zero overhead (one predicate check per packet).
+        self.fault_plan = None
 
     @property
     def num_nodes(self) -> int:
@@ -105,10 +108,43 @@ class Backplane:
                 + packet.size / self.params.link_bandwidth
             )
             yield Timeout(latency)
+            if self.fault_plan is not None and self._faulted(packet, path):
+                return  # the worm vanished; held links release below
             yield from self._deliver(packet)
         finally:
             for link in held:
                 link.release()
+
+    def _faulted(self, packet: Packet, path) -> bool:
+        """Apply the installed fault plan to one transiting packet.
+
+        Returns True when the packet is lost (crashed destination, link
+        outage, or a drop fate).  A corrupt fate lets the packet through
+        with ``corrupted`` set; the receiving NIC discards it after paying
+        the receive-side costs, as a real CRC check would.
+        """
+        from ..faults import Fate
+
+        plan = self.fault_plan
+        now = self.sim.now
+        if plan.crashed(packet.dst, now):
+            self.stats.count("fault.crash_drops")
+            self.stats.trace("fault.crash_drop", packet.dst, repr(packet))
+            return True
+        if plan.path_down(path, now):
+            self.stats.count("fault.outage_drops")
+            self.stats.trace("fault.outage_drop", packet.src, repr(packet))
+            return True
+        fate = plan.packet_fate(packet.src, packet.dst)
+        if fate is Fate.DROP:
+            self.stats.count("fault.drops")
+            self.stats.trace("fault.drop", packet.src, repr(packet))
+            return True
+        if fate is Fate.CORRUPT:
+            packet.corrupted = True
+            self.stats.count("fault.corruptions")
+            self.stats.trace("fault.corrupt", packet.src, repr(packet))
+        return False
 
     def unloaded_latency(self, src: int, dst: int, size: int) -> float:
         """Contention-free wire latency for a packet of ``size`` bytes."""

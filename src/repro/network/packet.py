@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["PacketKind", "Packet"]
 
@@ -21,6 +22,9 @@ _packet_ids = itertools.count()
 class PacketKind(enum.Enum):
     AUTOMATIC_UPDATE = "au"
     DELIBERATE_UPDATE = "du"
+    #: Endpoint-level control traffic (acks of the reliable-delivery mode).
+    #: Carried like data on the wire but never written to memory.
+    CONTROL = "ctl"
 
 
 @dataclass
@@ -49,6 +53,14 @@ class Packet:
     fragments: int = 1
     last_of_message: bool = True
     header_bytes: int = 8
+    #: Reliable-delivery channel id (None for untagged traffic).
+    channel: Optional[int] = None
+    #: Sequence number within the channel; for CONTROL packets this is the
+    #: cumulative acknowledgment.
+    seq: int = 0
+    #: Set by an installed FaultPlan: the payload arrives with a failing
+    #: CRC and the receiving NIC discards it.
+    corrupted: bool = False
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self):
@@ -70,6 +82,8 @@ class Packet:
 
     def __repr__(self) -> str:
         flag = "+irq" if self.interrupt else ""
+        if self.channel is not None:
+            flag += f" ch{self.channel}:{self.seq}"
         frag = f" x{self.fragments}" if self.fragments > 1 else ""
         return (
             f"Packet#{self.packet_id}({self.kind.value}{flag}{frag} "

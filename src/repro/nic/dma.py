@@ -38,6 +38,10 @@ class TransferRequest:
     dst_offset: int
     interrupt: bool = False
     last_of_message: bool = True
+    #: Reliable-delivery tag: channel id and sequence number copied onto
+    #: the packet (None/0 for untagged transfers).
+    channel: Optional[int] = None
+    seq: int = 0
     #: Triggered when the DMA has read the data and handed it to the network
     #: (source buffer reusable).
     sent: Optional[Event] = None
@@ -146,6 +150,8 @@ class DeliberateUpdateEngine:
                 kind=PacketKind.DELIBERATE_UPDATE,
                 interrupt=request.interrupt,
                 last_of_message=request.last_of_message,
+                channel=request.channel,
+                seq=request.seq,
             )
             yield from self.inject(packet)
             self.transfers_completed += 1

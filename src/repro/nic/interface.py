@@ -22,7 +22,7 @@ from typing import Callable, Generator, List, Optional
 
 from ..sim import Queue, Resource, Simulator, StatsRegistry, Timeout
 from ..hardware import MachineParams, MemoryBus, PhysicalMemory
-from ..network import Backplane, Packet
+from ..network import Backplane, Packet, PacketKind
 from .combining import CombiningEngine
 from .config import NICConfig
 from .dma import DeliberateUpdateEngine, TransferRequest
@@ -99,6 +99,10 @@ class ShrimpNIC:
         #: Set by the kernel: fired per message in interrupt_every_message mode.
         self.on_message_interrupt: Optional[Callable[[Packet], None]] = None
 
+        #: Installed by Machine.install_fault_plan; None means no faults
+        #: and zero overhead on the receive/send paths.
+        self.fault_plan = None
+
         backplane.attach_receiver(node_id, self._on_packet)
         self._started = False
 
@@ -148,12 +152,27 @@ class ShrimpNIC:
 
     def _inject(self, packet: Packet) -> Generator:
         """Serialize on the format-and-send arbiter, then transmit."""
+        if self.fault_plan is not None and self.fault_plan.crashed(
+            self.node_id, self.sim.now
+        ):
+            # A crashed node's NIC goes dark: outbound traffic vanishes.
+            self.stats.count("fault.crash_tx_drops")
+            return
         self.stats.trace("nic.tx", self.node_id, repr(packet))
         yield from self.arbiter.acquire()
         try:
             yield from self.backplane.transmit(packet)
         finally:
             self.arbiter.release()
+
+    def send_control(self, packet: Packet) -> Generator:
+        """Inject an endpoint-generated control packet (reliable-mode acks).
+
+        Control packets share the format-and-send arbiter and the wire with
+        data, so ack traffic shows up in the timing it perturbs.
+        """
+        yield Timeout(self.params.packetize_us)
+        yield from self._inject(packet)
 
     # -- receive side --------------------------------------------------------
 
@@ -166,6 +185,16 @@ class ShrimpNIC:
 
             self._rx_freed = Signal(self.sim, f"rxfree{self.node_id}")
         capacity = max(self.params.rx_fifo_bytes, packet.size)
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.config.rx_overflow_discard
+            and self._rx_fill + packet.size > capacity
+        ):
+            # Commodity-switch behavior: a full receive FIFO discards the
+            # arrival instead of exerting wormhole backpressure.
+            self.stats.count("fault.rx_overflow_drops")
+            self.stats.trace("fault.rx_overflow", self.node_id, repr(packet))
+            return
         while self._rx_fill + packet.size > capacity:
             self.stats.count("rx.backpressure")
             yield from self._rx_freed.wait()
@@ -175,11 +204,28 @@ class ShrimpNIC:
     def _receive_engine(self) -> Generator:
         while True:
             packet = yield from self._rx_queue.get()
+            if self.fault_plan is not None:
+                # A stalled node's receive engine freezes for the window.
+                until = self.fault_plan.stall_until(self.node_id, self.sim.now)
+                if until > self.sim.now:
+                    self.stats.count("fault.stall_delays")
+                    self.stats.trace(
+                        "fault.stall", self.node_id, f"rx frozen until {until:.1f}"
+                    )
+                    yield Timeout(until - self.sim.now)
             # Per-packet header decode and IPT lookup, once per fragment.
             yield Timeout(
                 packet.fragments * self.params.rx_packet_us
                 + self.params.rx_dma_start_us
             )
+            if packet.corrupted:
+                # CRC failure: discard after the header work, before DMA.
+                self._rx_fill -= packet.size
+                if self._rx_freed is not None:
+                    self._rx_freed.fire()
+                self.stats.count("fault.corrupt_discards")
+                self.stats.trace("fault.corrupt_discard", self.node_id, repr(packet))
+                continue
             # Incoming DMA into main memory: each fragment is an individual
             # EISA bus transaction — the bandwidth penalty that makes
             # uncombined automatic update collapse for bulk data
@@ -190,8 +236,9 @@ class ShrimpNIC:
                 transactions=packet.fragments,
                 transaction_us=self.params.eisa_transaction_us,
             )
-            base = self.memory.frame_base(packet.dst_frame)
-            self.memory.write(base + packet.offset, packet.payload)
+            if packet.kind is not PacketKind.CONTROL:
+                base = self.memory.frame_base(packet.dst_frame)
+                self.memory.write(base + packet.offset, packet.payload)
             self._rx_fill -= packet.size
             if self._rx_freed is not None:
                 self._rx_freed.fire()
@@ -210,9 +257,12 @@ class ShrimpNIC:
         arrival.  A single pipeline process applies effects strictly in
         arrival order.
         """
-        from ..network import PacketKind
-
         delay = self.params.rx_pipeline_us
+        if packet.kind is PacketKind.CONTROL:
+            # Control packets carry no notification semantics; they only
+            # reach the endpoint-level delivery hooks.
+            self._delivery_queue.put((packet, self.sim.now + delay, False))
+            return
         is_message_end = (
             packet.kind is PacketKind.DELIBERATE_UPDATE and packet.last_of_message
         )

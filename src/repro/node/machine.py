@@ -42,6 +42,7 @@ class Machine:
         params: Optional[MachineParams] = None,
         nic_config: Optional[NICConfig] = None,
         seed: int = 1998,
+        fault_config=None,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -68,7 +69,21 @@ class Machine:
         #: Machine-wide name registries used by the communication libraries
         #: for connection setup (out-of-band in the real system).
         self.registries: Dict[str, Dict] = {}
+        #: The installed fault plan (None: perfect fabric, zero overhead).
+        self.fault_plan = None
+        if fault_config is not None and fault_config.any_faults:
+            from ..faults import FaultPlan
+
+            self.install_fault_plan(FaultPlan(fault_config, seed))
         self._started = False
+
+    def install_fault_plan(self, plan) -> None:
+        """Bind ``plan`` to this machine and arm every injection site."""
+        plan.bind(self)
+        self.fault_plan = plan
+        self.backplane.fault_plan = plan
+        for node in self.nodes:
+            node.nic.fault_plan = plan
 
     def start(self) -> None:
         if self._started:

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.study [table1|table2|table3|table4|figure3|figure4|
-                           combining|fifo|queueing|micro|all] [--nodes N]
+                           combining|fifo|queueing|reliability|micro|all]
+                          [--nodes N]
 """
 
 from __future__ import annotations
@@ -24,11 +25,13 @@ from . import (
     format_figure4_du_au,
     format_figure4_svm,
     format_queueing_study,
+    format_reliability_study,
     format_table1,
     format_table2,
     format_table3,
     format_table4,
     queueing_study,
+    reliability_study,
     run_microbenchmarks,
     table1,
     table2,
@@ -48,7 +51,7 @@ def main(argv=None) -> int:
         default="all",
         choices=[
             "table1", "table2", "table3", "table4", "figure3", "figure4",
-            "combining", "fifo", "queueing", "micro", "all",
+            "combining", "fifo", "queueing", "reliability", "micro", "all",
         ],
     )
     parser.add_argument("--nodes", type=int, default=16)
@@ -85,6 +88,8 @@ def main(argv=None) -> int:
         emit.append(format_fifo_study(fifo_study(runner, args.nodes)))
     if args.what in ("queueing", "all"):
         emit.append(format_queueing_study(queueing_study(runner, args.nodes)))
+    if args.what in ("reliability", "all"):
+        emit.append(format_reliability_study(reliability_study(args.nodes)))
 
     print("\n\n".join(emit))
     return 0

@@ -1,0 +1,210 @@
+"""Reliability study: what would SHRIMP's design choices cost on a lossy
+fabric?
+
+The paper's custom backplane is loss-free, so VMMC never pays for
+reliability.  This experiment family installs a deterministic
+:class:`~repro.faults.FaultPlan` and measures, across packet-drop rates:
+
+* **Deliberate update** in reliable mode (sequence numbers, cumulative
+  acks, go-back-N retransmit): every transfer completes, and the table
+  reports the end-to-end overhead versus the perfect-fabric unreliable
+  baseline, plus the retransmit/ack traffic that bought it.
+* **Automatic update**, which has no endpoint to retry from (stores are
+  propagated by hardware, fire-and-forget): the table reports the fraction
+  of bytes that simply never arrive — the reason AU's elegance is chained
+  to a reliable fabric.
+
+The workload is an all-nodes ring transfer: node *i* sends ``nbytes`` into
+a buffer exported by node *(i+1) mod N*, the communication pattern of the
+paper's microbenchmarks scaled to the full machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..faults import FaultConfig
+from ..node import Machine
+from ..vmmc import ReliableConfig, VMMCRuntime
+from .report import format_table
+
+__all__ = [
+    "DEFAULT_DROP_RATES",
+    "du_reliability_run",
+    "au_loss_run",
+    "reliability_study",
+    "format_reliability_study",
+]
+
+DEFAULT_DROP_RATES = (0.0, 0.01, 0.02, 0.05)
+
+
+def _ring_machine(
+    nprocs: int, drop_rate: float, seed: int
+) -> tuple:
+    fault_config = FaultConfig(drop_rate=drop_rate) if drop_rate else None
+    machine = Machine(num_nodes=nprocs, seed=seed, fault_config=fault_config)
+    vmmc = VMMCRuntime(machine)
+    endpoints = [vmmc.endpoint(machine.create_process(i)) for i in range(nprocs)]
+    return machine, vmmc, endpoints
+
+
+def du_reliability_run(
+    nprocs: int = 16,
+    nbytes: int = 32 * 1024,
+    drop_rate: float = 0.0,
+    reliable: bool = True,
+    seed: int = 1998,
+    reliable_config: Optional[ReliableConfig] = None,
+) -> Dict[str, float]:
+    """One ring transfer over deliberate update; returns timing and stats.
+
+    With ``reliable=False`` and a nonzero drop rate the transfer may lose
+    data (receivers do not wait, to avoid deadlocking on lost bytes); with
+    ``reliable=True`` every byte is delivered or the run raises
+    :class:`~repro.vmmc.errors.DeliveryFailed`.
+    """
+    machine, _vmmc, endpoints = _ring_machine(nprocs, drop_rate, seed)
+    sim = machine.sim
+    payload = bytes(range(256)) * (-(-nbytes // 256))
+    payload = payload[:nbytes]
+    marks: Dict[str, float] = {}
+    started = [0]
+    retx = [0]
+
+    def worker(i: int):
+        ep = endpoints[i]
+        buffer = yield from ep.export(nbytes, name=f"ring.{i}")
+        imported = yield from ep.import_buffer(f"ring.{(i + 1) % nprocs}")
+        src = ep.alloc(nbytes)
+        ep.poke(src, payload)
+        started[0] += 1
+        if started[0] == nprocs:
+            marks["t0"] = sim.now
+        if reliable:
+            channel = ep.open_reliable(imported, reliable_config)
+            yield from channel.send(src, nbytes)
+            retx[0] += channel.retransmissions
+            yield from ep.wait_bytes(buffer, nbytes)
+        else:
+            yield from ep.send(imported, src, nbytes, sync_delivered=True)
+
+    workers = [sim.spawn(worker(i), f"ring.w{i}") for i in range(nprocs)]
+    sim.run()
+    stuck = [p.name for p in workers if not p.done]
+    if stuck:
+        raise RuntimeError(f"reliability ring deadlocked: {stuck}")
+    stats = machine.stats
+    delivered = sum(
+        machine.registries["vmmc.exports"][f"ring.{i}"].bytes_received
+        for i in range(nprocs)
+    )
+    return {
+        "elapsed_us": sim.now - marks["t0"],
+        "retransmissions": retx[0],
+        "retx_rounds": stats.counter_value("vmmc.retx.rounds"),
+        "acks": stats.counter_value("vmmc.acks_sent"),
+        "drops": stats.counter_value("fault.drops"),
+        "duplicates": stats.counter_value("vmmc.rx_duplicates"),
+        "gaps": stats.counter_value("vmmc.rx_gaps"),
+        "bytes_expected": float(nprocs * nbytes),
+        "bytes_delivered": float(delivered),
+    }
+
+
+def au_loss_run(
+    nprocs: int = 16,
+    nbytes: int = 16 * 1024,
+    drop_rate: float = 0.0,
+    seed: int = 1998,
+) -> Dict[str, float]:
+    """One ring transfer over automatic update; returns the loss fraction.
+
+    Automatic update has no retransmission path — the NIC propagates
+    stores as a hardware side-effect — so under drops the receiver simply
+    ends up with fewer bytes.  Receivers do not wait (that would deadlock);
+    the run quiesces and the deficit is measured.
+    """
+    machine, _vmmc, endpoints = _ring_machine(nprocs, drop_rate, seed)
+    sim = machine.sim
+    page_size = machine.params.page_size
+    npages = -(-nbytes // page_size)
+    payload = bytes(range(256)) * (-(-nbytes // 256))
+    payload = payload[:nbytes]
+
+    def worker(i: int):
+        ep = endpoints[i]
+        yield from ep.export(npages * page_size, name=f"au.{i}")
+        imported = yield from ep.import_buffer(f"au.{(i + 1) % nprocs}")
+        local = ep.alloc(npages * page_size)
+        yield from ep.bind_au(imported, local, npages, combine=True)
+        yield from ep.au_write(local, payload)
+        yield from ep.au_drain()
+
+    workers = [sim.spawn(worker(i), f"au.w{i}") for i in range(nprocs)]
+    sim.run()
+    stuck = [p.name for p in workers if not p.done]
+    if stuck:
+        raise RuntimeError(f"AU loss ring deadlocked: {stuck}")
+    delivered = sum(
+        machine.registries["vmmc.exports"][f"au.{i}"].bytes_received
+        for i in range(nprocs)
+    )
+    expected = float(nprocs * nbytes)
+    return {
+        "bytes_expected": expected,
+        "bytes_delivered": float(delivered),
+        "loss_pct": 100.0 * (1.0 - delivered / expected),
+        "drops": machine.stats.counter_value("fault.drops"),
+    }
+
+
+def reliability_study(
+    nprocs: int = 16,
+    nbytes: int = 32 * 1024,
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    seed: int = 1998,
+) -> List[dict]:
+    """Reliable-DU overhead and raw-AU loss across packet-drop rates.
+
+    The overhead column is relative to the unreliable deliberate-update
+    ring on a perfect fabric — i.e. it folds together the ack/seq protocol
+    cost (visible at drop rate 0) and the retransmission cost (growing
+    with the drop rate).
+    """
+    baseline = du_reliability_run(
+        nprocs, nbytes, drop_rate=0.0, reliable=False, seed=seed
+    )
+    rows = []
+    for rate in drop_rates:
+        du = du_reliability_run(nprocs, nbytes, rate, reliable=True, seed=seed)
+        au = au_loss_run(nprocs, nbytes // 2, rate, seed=seed)
+        rows.append(
+            {
+                "drop_pct": 100.0 * rate,
+                "du_elapsed_ms": du["elapsed_us"] / 1000.0,
+                "du_overhead_pct": (du["elapsed_us"] / baseline["elapsed_us"] - 1.0)
+                * 100.0,
+                "retx": int(du["retransmissions"]),
+                "acks": int(du["acks"]),
+                "drops": int(du["drops"]),
+                "du_delivered_pct": 100.0
+                * du["bytes_delivered"]
+                / du["bytes_expected"],
+                "au_loss_pct": au["loss_pct"],
+            }
+        )
+    return rows
+
+
+def format_reliability_study(rows: List[dict]) -> str:
+    return format_table(
+        "Reliability study: endpoint retry vs drop rate (ring transfer)",
+        ["Drop (%)", "DU reliable (ms)", "Overhead (%)", "Retx", "Acks",
+         "Drops", "DU delivered (%)", "AU lost (%)"],
+        [
+            (r["drop_pct"], r["du_elapsed_ms"], r["du_overhead_pct"], r["retx"],
+             r["acks"], r["drops"], r["du_delivered_pct"], r["au_loss_pct"])
+            for r in rows
+        ],
+    )

@@ -2,8 +2,15 @@
 
 from .api import AUBinding, VMMCEndpoint, VMMCRuntime
 from .buffers import ImportedBuffer, ReceiveBuffer
-from .errors import BindingError, ImportError_, PermissionError_, VMMCError
+from .errors import (
+    BindingError,
+    DeliveryFailed,
+    ImportError_,
+    PermissionError_,
+    VMMCError,
+)
 from .notifications import NotificationDispatcher
+from .reliable import ReliableChannel, ReliableConfig
 
 __all__ = [
     "VMMCRuntime",
@@ -12,8 +19,11 @@ __all__ = [
     "ReceiveBuffer",
     "ImportedBuffer",
     "NotificationDispatcher",
+    "ReliableChannel",
+    "ReliableConfig",
     "VMMCError",
     "ImportError_",
     "PermissionError_",
     "BindingError",
+    "DeliveryFailed",
 ]

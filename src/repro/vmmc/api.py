@@ -13,12 +13,18 @@ from typing import Dict, Generator, List, Optional, Set
 
 from ..sim import Signal, Timeout
 from ..hardware import PageMode, Protection
-from ..network import Packet
+from ..network import Packet, PacketKind
 from ..nic import OPTEntry, TransferRequest
 from ..node import Machine, NodeProcess
 from .buffers import ImportedBuffer, ReceiveBuffer
 from .errors import BindingError, ImportError_, PermissionError_, VMMCError
 from .notifications import Handler, NotificationDispatcher
+from .reliable import (
+    ReliableChannel,
+    ReliableConfig,
+    ReliableReceiverState,
+    make_ack_packet,
+)
 
 __all__ = ["VMMCRuntime", "VMMCEndpoint", "AUBinding"]
 
@@ -48,6 +54,8 @@ class _NodeState:
     def __init__(self):
         self.frame_to_buffer: Dict[int, ReceiveBuffer] = {}
         self.endpoints: Dict[int, "VMMCEndpoint"] = {}
+        #: Reliable-mode receiver state, by channel id.
+        self.reliable_rx: Dict[int, ReliableReceiverState] = {}
 
 
 class VMMCRuntime:
@@ -60,6 +68,9 @@ class VMMCRuntime:
         self.stats = machine.stats
         self.directory: Dict[str, ReceiveBuffer] = machine.registry("vmmc.exports")
         self._node_state: Dict[int, _NodeState] = {}
+        #: Reliable-mode sender channels, by channel id (machine-wide:
+        #: channel ids are globally unique).
+        self._reliable_senders: Dict[int, ReliableChannel] = {}
         self._export_announced = Signal(self.sim, "vmmc.export")
         for node in machine.nodes:
             state = _NodeState()
@@ -85,17 +96,67 @@ class VMMCRuntime:
         return self._node_state[node_id].frame_to_buffer.get(frame)
 
     def _on_delivery(self, node_id: int, packet: Packet) -> None:
-        from ..network import PacketKind
-
+        if packet.kind is PacketKind.CONTROL:
+            self._on_ack_packet(packet)
+            return
+        count_message = (
+            packet.kind is PacketKind.DELIBERATE_UPDATE and packet.last_of_message
+        )
+        if packet.channel is not None:
+            # Reliable-mode data: acknowledge, and suppress the byte and
+            # message accounting for anything but the in-order packet so
+            # retransmitted duplicates are not double counted.
+            accepted = self._on_reliable_data(node_id, packet)
+            if not accepted:
+                return
+            count_message = count_message and accepted
         buffer = self._buffer_for_frame(node_id, packet.dst_frame)
         if buffer is None:
             return  # delivery to memory outside any exported buffer
         buffer.bytes_received += packet.data_bytes
-        if packet.kind is PacketKind.DELIBERATE_UPDATE and packet.last_of_message:
+        if count_message:
             buffer.messages_received += 1
             self.stats.count("vmmc.messages_received")
         if buffer.arrival is not None:
             buffer.arrival.fire(packet)
+
+    # -- reliable-delivery protocol hooks ---------------------------------
+
+    def _register_reliable_sender(self, channel: ReliableChannel) -> None:
+        self._reliable_senders[channel.channel_id] = channel
+
+    def _on_ack_packet(self, packet: Packet) -> None:
+        sender = self._reliable_senders.get(packet.channel)
+        if sender is not None:
+            sender._on_ack(packet.seq)
+
+    def _on_reliable_data(self, node_id: int, packet: Packet) -> bool:
+        """Track in-order state and emit a cumulative ack; True = in order."""
+        state = self._node_state[node_id].reliable_rx.get(packet.channel)
+        if state is None:
+            state = ReliableReceiverState(packet.channel, packet.src)
+            self._node_state[node_id].reliable_rx[packet.channel] = state
+        accepted = state.accept(packet.seq)
+        if not accepted:
+            if packet.seq < state.expected:
+                self.stats.count("vmmc.rx_duplicates")
+            else:
+                self.stats.count("vmmc.rx_gaps")
+                self.stats.trace(
+                    "vmmc.retx",
+                    node_id,
+                    f"ch{packet.channel} gap: got seq{packet.seq}, "
+                    f"expected {state.expected}",
+                )
+        sender = self._reliable_senders.get(packet.channel)
+        ack_bytes = (
+            sender.config.ack_bytes if sender is not None else ReliableConfig().ack_bytes
+        )
+        ack = make_ack_packet(node_id, state, ack_bytes)
+        self.stats.count("vmmc.acks_sent")
+        nic = self.machine.nodes[node_id].nic
+        self.sim.spawn(nic.send_control(ack), f"ack.ch{packet.channel}")
+        return accepted
 
     def _on_notification(self, node_id: int, packet: Packet) -> None:
         buffer = self._buffer_for_frame(node_id, packet.dst_frame)
@@ -258,6 +319,27 @@ class VMMCEndpoint:
         self.imports.append(imported)
         self.stats.count("vmmc.imports")
         return imported
+
+    # -- reliable delivery -----------------------------------------------
+
+    def open_reliable(
+        self,
+        imported: ImportedBuffer,
+        config: Optional[ReliableConfig] = None,
+    ) -> ReliableChannel:
+        """Open a reliable-delivery channel over an imported buffer.
+
+        Returns a :class:`~repro.vmmc.reliable.ReliableChannel` whose
+        ``send``/``drain`` generators guarantee delivery over a lossy
+        fabric (sequence numbers, cumulative acks, go-back-N retransmit)
+        or raise :class:`~repro.vmmc.errors.DeliveryFailed` once the retry
+        budget is exhausted.
+        """
+        if not imported.valid:
+            raise VMMCError("open_reliable on an invalidated import")
+        channel = ReliableChannel(self, imported, config)
+        self.stats.count("vmmc.reliable.channels")
+        return channel
 
     # -- deliberate update -----------------------------------------------
 

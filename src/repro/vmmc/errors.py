@@ -1,6 +1,12 @@
 """VMMC error types."""
 
-__all__ = ["VMMCError", "ImportError_", "PermissionError_", "BindingError"]
+__all__ = [
+    "VMMCError",
+    "ImportError_",
+    "PermissionError_",
+    "BindingError",
+    "DeliveryFailed",
+]
 
 
 class VMMCError(RuntimeError):
@@ -17,3 +23,19 @@ class PermissionError_(VMMCError):
 
 class BindingError(VMMCError):
     """Invalid automatic-update binding (alignment, overlap, size)."""
+
+
+class DeliveryFailed(VMMCError):
+    """Reliable delivery exhausted its retry budget.
+
+    Carries enough context for the higher-level libraries (NX, sockets,
+    SVM) to degrade gracefully instead of hanging: which channel failed,
+    the first unacknowledged sequence number, and how many retransmission
+    rounds were attempted.
+    """
+
+    def __init__(self, message: str, channel: int, first_unacked: int, retries: int):
+        super().__init__(message)
+        self.channel = channel
+        self.first_unacked = first_unacked
+        self.retries = retries

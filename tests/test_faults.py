@@ -1,0 +1,243 @@
+"""Tests for the deterministic fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro import Machine
+from repro.faults import Fate, FaultConfig, FaultPlan
+from repro.vmmc import VMMCRuntime
+
+
+def _du_transfer(machine, nbytes=4096, sync_delivered=False):
+    """One unreliable DU transfer node 0 -> 1; returns (machine, buffer)."""
+    vmmc = VMMCRuntime(machine)
+    sim = machine.sim
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+    out = {}
+
+    def rx():
+        out["buffer"] = yield from receiver.export(nbytes, name="f.du")
+
+    def tx():
+        imported = yield from sender.import_buffer("f.du")
+        src = sender.alloc(nbytes)
+        sender.poke(src, b"\xab" * nbytes)
+        yield from sender.send(imported, src, nbytes, sync_delivered=sync_delivered)
+
+    sim.spawn(rx(), "rx")
+    sim.spawn(tx(), "tx")
+    sim.run()
+    return out["buffer"]
+
+
+# -- configuration ----------------------------------------------------------
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        FaultConfig(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultConfig(drop_rate=0.6, corrupt_rate=0.6)
+    with pytest.raises(ValueError):
+        FaultConfig(horizon_us=0.0)
+
+
+def test_any_faults_flag():
+    assert not FaultConfig().any_faults
+    assert FaultConfig(drop_rate=0.01).any_faults
+    assert FaultConfig(rx_overflow_discard=True).any_faults
+    assert FaultConfig(crash_times=((0, 1.0),)).any_faults
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_same_seed_same_fault_schedule():
+    config = FaultConfig(drop_rate=0.05, link_outages=5, node_stalls=3)
+    machines = [Machine(num_nodes=8, seed=7) for _ in range(2)]
+    plans = [FaultPlan(config, seed=42) for _ in range(2)]
+    for machine, plan in zip(machines, plans):
+        machine.install_fault_plan(plan)
+    assert plans[0].schedule() == plans[1].schedule()
+    fates = [[p.packet_fate(0, 1) for _ in range(200)] for p in plans]
+    assert fates[0] == fates[1]
+
+
+def test_different_seeds_independent_schedules():
+    config = FaultConfig(drop_rate=0.05, link_outages=5, node_stalls=3)
+    machine_a, machine_b = Machine(num_nodes=8), Machine(num_nodes=8)
+    plan_a = FaultPlan(config, seed=1).bind(machine_a)
+    plan_b = FaultPlan(config, seed=2).bind(machine_b)
+    assert plan_a.schedule() != plan_b.schedule()
+    fates_a = [plan_a.packet_fate(0, 1) for _ in range(200)]
+    fates_b = [plan_b.packet_fate(0, 1) for _ in range(200)]
+    assert fates_a != fates_b
+
+
+def test_channels_are_independent_streams():
+    plan = FaultPlan(FaultConfig(drop_rate=0.2), seed=3)
+    a = [plan.packet_fate(0, 1) for _ in range(100)]
+    b = [plan.packet_fate(1, 0) for _ in range(100)]
+    assert a != b
+
+
+def test_fate_rate_roughly_matches_config():
+    plan = FaultPlan(FaultConfig(drop_rate=0.1, corrupt_rate=0.05), seed=9)
+    fates = [plan.packet_fate(2, 3) for _ in range(5000)]
+    drops = sum(f is Fate.DROP for f in fates) / len(fates)
+    corrupts = sum(f is Fate.CORRUPT for f in fates) / len(fates)
+    assert 0.07 < drops < 0.13
+    assert 0.03 < corrupts < 0.07
+
+
+def test_bind_is_idempotent():
+    machine = Machine(num_nodes=4)
+    plan = FaultPlan(FaultConfig(link_outages=4), seed=5).bind(machine)
+    schedule = plan.schedule()
+    plan.bind(machine)
+    assert plan.schedule() == schedule
+
+
+# -- injection sites --------------------------------------------------------
+
+
+def test_certain_drop_loses_the_packet():
+    machine = Machine(num_nodes=4, fault_config=FaultConfig(drop_rate=1.0))
+    buffer = _du_transfer(machine)
+    assert buffer.bytes_received == 0
+    assert machine.stats.counter_value("fault.drops") >= 1
+
+
+def test_certain_corruption_is_discarded_at_the_nic():
+    machine = Machine(num_nodes=4, fault_config=FaultConfig(corrupt_rate=1.0))
+    buffer = _du_transfer(machine)
+    assert buffer.bytes_received == 0
+    assert machine.stats.counter_value("fault.corruptions") >= 1
+    assert machine.stats.counter_value("fault.corrupt_discards") >= 1
+
+
+def test_crashed_destination_drops_traffic():
+    machine = Machine(
+        num_nodes=4, fault_config=FaultConfig(crash_times=((1, 0.0),))
+    )
+    buffer = _du_transfer(machine)
+    assert buffer.bytes_received == 0
+    assert machine.stats.counter_value("fault.crash_drops") >= 1
+
+
+def test_crashed_sender_goes_dark():
+    machine = Machine(
+        num_nodes=4, fault_config=FaultConfig(crash_times=((0, 0.0),))
+    )
+    buffer = _du_transfer(machine)
+    assert buffer.bytes_received == 0
+    assert machine.stats.counter_value("fault.crash_tx_drops") >= 1
+
+
+def test_stall_window_delays_delivery():
+    # A generous stall window over node 1's receive engine: the transfer
+    # still completes, later than the unstalled run.
+    base = Machine(num_nodes=4)
+    t_base = None
+    buffer = _du_transfer(base, sync_delivered=True)
+    t_base = base.sim.now
+    assert buffer.bytes_received == 4096
+
+    stalled = Machine(num_nodes=4)
+    plan = FaultPlan(FaultConfig(node_stalls=0), seed=1)
+    plan.bind(stalled)
+    plan.stalls[1] = [(0.0, 500.0)]
+    stalled.install_fault_plan(plan)
+    buffer = _du_transfer(stalled, sync_delivered=True)
+    assert buffer.bytes_received == 4096
+    assert stalled.stats.counter_value("fault.stall_delays") >= 1
+    assert stalled.sim.now > t_base
+
+
+def test_link_outage_window_drops_in_transit():
+    machine = Machine(num_nodes=4)
+    plan = FaultPlan(FaultConfig(), seed=1)
+    plan.bind(machine)
+    # Take every link down for the first 10 ms: any packet in that span
+    # is lost.
+    for link in machine.backplane.topology.links():
+        plan.outages[link] = [(0.0, 10_000.0)]
+    machine.install_fault_plan(plan)
+    buffer = _du_transfer(machine)
+    assert buffer.bytes_received == 0
+    assert machine.stats.counter_value("fault.outage_drops") >= 1
+
+
+def test_rx_overflow_discard_instead_of_backpressure():
+    from repro.hardware import DEFAULT_PARAMS
+
+    # A tiny receive FIFO plus a burst of senders: with the discard policy
+    # on, overflow drops packets instead of stalling the mesh.
+    params = DEFAULT_PARAMS.with_overrides(rx_fifo_bytes=256)
+    machine = Machine(
+        num_nodes=4,
+        params=params,
+        fault_config=FaultConfig(rx_overflow_discard=True),
+    )
+    vmmc = VMMCRuntime(machine)
+    sim = machine.sim
+    receiver = vmmc.endpoint(machine.create_process(0))
+    senders = [vmmc.endpoint(machine.create_process(i)) for i in (1, 2, 3)]
+
+    def rx():
+        yield from receiver.export(16384, name="burst")
+
+    def tx(ep):
+        imported = yield from ep.import_buffer("burst")
+        src = ep.alloc(4096)
+        ep.poke(src, b"\xcd" * 4096)
+        for _ in range(4):
+            yield from ep.send(imported, src, 4096)
+
+    sim.spawn(rx(), "rx")
+    for i, ep in enumerate(senders):
+        sim.spawn(tx(ep), f"tx{i}")
+    sim.run()
+    assert machine.stats.counter_value("fault.rx_overflow_drops") >= 1
+
+
+# -- the zero-overhead-when-disabled guarantee ------------------------------
+
+
+def _timed_run(machine):
+    buffer = _du_transfer(machine, sync_delivered=True)
+    return machine.sim.now, buffer.bytes_received, machine.stats.snapshot()
+
+
+def test_no_plan_run_has_no_fault_counters():
+    machine = Machine(num_nodes=4)
+    _, _, stats = _timed_run(machine)
+    assert machine.fault_plan is None
+    assert not any(name.startswith("fault.") for name in stats)
+
+
+def test_zero_rate_plan_is_timing_identical_to_no_plan():
+    # Installing a plan with no faults configured must not perturb timing
+    # or stats: the injection hooks are pure predicates.
+    plain = Machine(num_nodes=4)
+    t_plain, bytes_plain, stats_plain = _timed_run(plain)
+
+    hooked = Machine(num_nodes=4)
+    hooked.install_fault_plan(FaultPlan(FaultConfig(), seed=123))
+    t_hooked, bytes_hooked, stats_hooked = _timed_run(hooked)
+
+    assert t_plain == t_hooked
+    assert bytes_plain == bytes_hooked
+    assert stats_plain == stats_hooked
+
+
+def test_faulty_runs_are_reproducible():
+    results = []
+    for _ in range(2):
+        machine = Machine(
+            num_nodes=4, fault_config=FaultConfig(drop_rate=0.3, corrupt_rate=0.1)
+        )
+        buffer = _du_transfer(machine, nbytes=32 * 1024)
+        results.append((machine.sim.now, buffer.bytes_received,
+                        machine.stats.snapshot()))
+    assert results[0] == results[1]

@@ -1,0 +1,60 @@
+"""Regression tests for the event tracer (repro.sim.trace)."""
+
+from repro.sim import Tracer
+
+
+def _tracer(limit):
+    clock = [0.0]
+    tracer = Tracer(lambda: clock[0], limit=limit)
+    return tracer, clock
+
+
+def test_overflow_counts_dropped_and_caps_events():
+    tracer, clock = _tracer(limit=5)
+    tracer.enable()
+    for i in range(8):
+        clock[0] = float(i)
+        tracer.emit("cat", 0, f"event {i}")
+    assert len(tracer.events) == 5
+    assert tracer.dropped == 3
+    # The retained events are the first `limit` emitted, in order.
+    assert [e.message for e in tracer.events] == [f"event {i}" for i in range(5)]
+
+
+def test_events_never_exceed_limit_after_continued_emission():
+    tracer, _clock = _tracer(limit=3)
+    tracer.enable()
+    for i in range(100):
+        tracer.emit("cat", 0, str(i))
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 97
+
+
+def test_disabled_tracer_neither_stores_nor_drops():
+    tracer, _clock = _tracer(limit=2)
+    for i in range(5):
+        tracer.emit("cat", 0, str(i))
+    assert tracer.events == []
+    assert tracer.dropped == 0
+
+
+def test_filtered_out_events_do_not_count_as_dropped():
+    tracer, _clock = _tracer(limit=2)
+    tracer.enable(categories=["keep."])
+    for i in range(5):
+        tracer.emit("skip.cat", 0, str(i))
+    assert tracer.events == []
+    assert tracer.dropped == 0
+
+
+def test_clear_resets_overflow_accounting():
+    tracer, _clock = _tracer(limit=1)
+    tracer.enable()
+    tracer.emit("cat", 0, "a")
+    tracer.emit("cat", 0, "b")
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert tracer.events == []
+    assert tracer.dropped == 0
+    tracer.emit("cat", 0, "c")
+    assert len(tracer.events) == 1
