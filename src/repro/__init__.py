@@ -23,6 +23,7 @@ from .hardware import DEFAULT_PARAMS, MachineParams
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
 from .sim import Simulator, Timeout
+from .telemetry import Telemetry
 from .vmmc import (
     DeliveryFailed,
     ReliableChannel,
@@ -31,7 +32,7 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Machine",
@@ -49,6 +50,7 @@ __all__ = [
     "ReliableConfig",
     "DeliveryFailed",
     "Simulator",
+    "Telemetry",
     "Timeout",
     "__version__",
 ]

@@ -139,9 +139,15 @@ def run_app(
     params: Optional[MachineParams] = None,
     nic_config: Optional[NICConfig] = None,
     seed: int = 1998,
+    machine: Optional[Machine] = None,
 ) -> AppResult:
-    """Run ``app`` on a fresh ``nprocs``-node machine; returns the result."""
-    machine = Machine(nprocs, params=params, nic_config=nic_config, seed=seed)
+    """Run ``app`` on a fresh ``nprocs``-node machine; returns the result.
+
+    Pass a pre-built ``machine`` (e.g. one with telemetry enabled) to run
+    on it instead; ``params``/``nic_config``/``seed`` are ignored then.
+    """
+    if machine is None:
+        machine = Machine(nprocs, params=params, nic_config=nic_config, seed=seed)
     vmmc = VMMCRuntime(machine)
     ctx = RunContext(machine, vmmc, nprocs)
     generators = app.workers(ctx)

@@ -35,6 +35,7 @@ class CPU:
         self.node_id = node_id
         self.stats = stats
         self._pending_steal = 0.0
+        self._busy_depth = 0
         self.total_compute_us = 0.0
         self.total_interrupt_us = 0.0
 
@@ -48,7 +49,23 @@ class CPU:
         """Charge a fixed-duration CPU activity."""
         stolen = self.drain_steal()
         if duration + stolen > 0:
-            yield Timeout(duration + stolen)
+            tel = self.stats.telemetry
+            if tel is not None:
+                # Busy-depth timeline: >0 means some process is burning CPU
+                # (vs. stalled on communication) — busy_fraction gives the
+                # compute-vs-stall split against virtual time.
+                self._busy_depth += 1
+                tel.timeline(f"cpu.n{self.node_id}", node=self.node_id).record(
+                    self.sim.now, self._busy_depth
+                )
+            try:
+                yield Timeout(duration + stolen)
+            finally:
+                if tel is not None:
+                    self._busy_depth -= 1
+                    tel.timeline(f"cpu.n{self.node_id}", node=self.node_id).record(
+                        self.sim.now, self._busy_depth
+                    )
         breakdown = self.stats.breakdown(self.node_id)
         breakdown.charge(category, duration)
         if stolen:

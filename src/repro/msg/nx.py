@@ -168,6 +168,17 @@ class NXRank:
         sender's memory).  ``notify`` sets the interrupt-request bit."""
         if dest == self.rank:
             raise ValueError("NX send to self is not supported")
+        tel = self.endpoint.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "nx.csend",
+                self.endpoint.node_id,
+                "app",
+                dest=dest,
+                bytes=len(data),
+                type=msg_type,
+            )
         sender = self._senders[dest]
         lock = self._send_locks[dest]
         yield from lock.acquire()
@@ -185,6 +196,8 @@ class NXRank:
                 offset += len(chunk)
         finally:
             lock.release()
+            if tel is not None:
+                tel.end(span)
         self.messages_sent += 1
 
     def isend(self, msg_type: int, data: bytes, dest: int):
@@ -209,6 +222,16 @@ class NXRank:
         self, typesel: int = ANY_TYPE, source: int = ANY_SOURCE
     ) -> Generator:
         """Blocking typed receive; returns (src, type, data)."""
+        tel = self.endpoint.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "nx.crecv",
+                self.endpoint.node_id,
+                "app",
+                typesel=typesel,
+                source=source,
+            )
         while True:
             for i, (src, msg_type, data) in enumerate(self._pending):
                 if typesel not in (ANY_TYPE, msg_type):
@@ -216,6 +239,8 @@ class NXRank:
                 if source not in (ANY_SOURCE, src):
                     continue
                 del self._pending[i]
+                if tel is not None:
+                    tel.end(span, src=src, bytes=len(data))
                 return src, msg_type, data
             yield from self._new_message.wait()
 
@@ -226,6 +251,10 @@ class NXRank:
         nprocs = self.nprocs
         if nprocs == 1:
             return
+        tel = self.endpoint.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin("nx.gsync", self.endpoint.node_id, "app")
         round_no = 0
         distance = 1
         while distance < nprocs:
@@ -237,6 +266,8 @@ class NXRank:
             distance *= 2
             round_no += 1
         self.endpoint.stats.count("nx.barriers")
+        if tel is not None:
+            tel.end(span, rounds=round_no)
 
     def broadcast(self, root: int, data: Optional[bytes]) -> Generator:
         """Binomial-tree broadcast; returns the data on every rank."""

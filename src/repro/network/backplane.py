@@ -85,20 +85,41 @@ class Backplane:
         NIC's incoming FIFO — wormhole backpressure: a slow receiver blocks
         senders all the way back through the mesh.
         """
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "net.transmit",
+                packet.src,
+                "net",
+                parent=packet.span,
+                dst=packet.dst,
+                bytes=packet.size,
+            )
+            packet.span = span
+
         if packet.dst == packet.src:
             # Loopback never touches the backplane; charge a nominal
             # NIC-internal turnaround.
             yield Timeout(self.params.router_hop_us)
             yield from self._deliver(packet)
+            if tel is not None:
+                tel.end(span, hops=0)
             return
 
         path = self.topology.xy_route(packet.src, packet.dst)
         held: List[Resource] = []
+        held_links: List[LinkId] = []
         try:
             for link_id in path:
                 link = self._links[link_id]
                 yield from link.acquire()
                 held.append(link)
+                held_links.append(link_id)
+                if tel is not None:
+                    tel.timeline(
+                        f"link.{link_id[0]}-{link_id[1]}", node=link_id[0]
+                    ).record(self.sim.now, 1)
             ejection = self._ejection[packet.dst]
             yield from ejection.acquire()
             held.append(ejection)
@@ -114,6 +135,13 @@ class Backplane:
         finally:
             for link in held:
                 link.release()
+            if tel is not None:
+                now = self.sim.now
+                for link_id in held_links:
+                    tel.timeline(
+                        f"link.{link_id[0]}-{link_id[1]}", node=link_id[0]
+                    ).record(now, 0)
+                tel.end(span, hops=len(path))
 
     def _faulted(self, packet: Packet, path) -> bool:
         """Apply the installed fault plan to one transiting packet.

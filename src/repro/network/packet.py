@@ -61,6 +61,10 @@ class Packet:
     #: Set by an installed FaultPlan: the payload arrives with a failing
     #: CRC and the receiving NIC discards it.
     corrupted: bool = False
+    #: Telemetry span context carried across layers (None when telemetry is
+    #: off): each hop parents its span to this and overwrites it with its
+    #: own, so the receive side links back to the transmit side.
+    span: Optional[int] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self):

@@ -42,6 +42,9 @@ class TransferRequest:
     #: the packet (None/0 for untagged transfers).
     channel: Optional[int] = None
     seq: int = 0
+    #: Telemetry span of the library-level send this transfer belongs to
+    #: (None when telemetry is off); the DU engine parents its span to it.
+    span: Optional[int] = None
     #: Triggered when the DMA has read the data and handed it to the network
     #: (source buffer reusable).
     sent: Optional[Event] = None
@@ -129,6 +132,18 @@ class DeliberateUpdateEngine:
     def _run(self) -> Generator:
         while True:
             request = yield from self._requests.get()
+            tel = self.stats.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "nic.du",
+                    self.node_id,
+                    "nic.tx",
+                    parent=request.span,
+                    bytes=request.nbytes,
+                    dst=request.dst_node,
+                    seq=request.seq,
+                )
             yield Timeout(self.params.dma_start_us)
             # DMA read of the source data: holds the memory bus at EISA
             # speed, locking out the CPU for the duration.
@@ -152,9 +167,12 @@ class DeliberateUpdateEngine:
                 last_of_message=request.last_of_message,
                 channel=request.channel,
                 seq=request.seq,
+                span=span,
             )
             yield from self.inject(packet)
             self.transfers_completed += 1
             self.stats.count("du.transfers")
             self.stats.count("du.bytes", request.nbytes)
             request.delivered.succeed()
+            if tel is not None:
+                tel.end(span)

@@ -33,6 +33,8 @@ class OutgoingFIFO:
         capacity: int,
         threshold: int,
         name: str = "ofifo",
+        stats=None,
+        node: int = 0,
     ):
         if not 0 < threshold <= capacity:
             raise ValueError(
@@ -44,6 +46,10 @@ class OutgoingFIFO:
         #: Processes blocked by flow control resume once fill drains to here.
         self.resume_mark = threshold // 2
         self.name = name
+        #: Optional StatsRegistry carrying the telemetry collector; when its
+        #: telemetry is armed, fill changes feed a per-NIC timeline.
+        self.stats = stats
+        self.node = node
         self._queue = Queue(sim, name)
         self.fill_bytes = 0
         self.max_fill = 0
@@ -71,12 +77,25 @@ class OutgoingFIFO:
             )
         self.fill_bytes = new_fill
         self.max_fill = max(self.max_fill, new_fill)
+        self._record_fill()
         if not self.over_threshold and new_fill > self.threshold:
             self.over_threshold = True
             self.threshold_interrupts += 1
+            tel = None if self.stats is None else self.stats.telemetry
+            if tel is not None:
+                tel.instant(
+                    "nic.fifo_threshold", self.node, "nic.tx", fill=new_fill
+                )
             if self.on_threshold is not None:
                 self.on_threshold()
         self._queue.put(packet)
+
+    def _record_fill(self) -> None:
+        tel = None if self.stats is None else self.stats.telemetry
+        if tel is not None:
+            tel.timeline(f"{self.name}.fill", node=self.node).record(
+                self.sim.now, self.fill_bytes
+            )
 
     def get(self) -> Generator:
         """Dequeue the next packet (drain side; blocks when empty)."""
@@ -88,6 +107,7 @@ class OutgoingFIFO:
         self.fill_bytes -= packet.size
         if self.fill_bytes < 0:
             raise RuntimeError(f"{self.name}: negative fill")
+        self._record_fill()
         if self.over_threshold and self.fill_bytes <= self.resume_mark:
             self.over_threshold = False
             self.drained.fire()

@@ -64,7 +64,9 @@ class ShrimpNIC:
 
         fifo_capacity = config.fifo_capacity or params.fifo_capacity
         threshold = int(fifo_capacity * params.fifo_threshold_fraction)
-        self.fifo = OutgoingFIFO(sim, fifo_capacity, threshold, f"ofifo{node_id}")
+        self.fifo = OutgoingFIFO(
+            sim, fifo_capacity, threshold, f"ofifo{node_id}", stats=stats, node=node_id
+        )
 
         self.combiner = CombiningEngine(
             sim,
@@ -140,10 +142,25 @@ class ShrimpNIC:
     def _drain_fifo(self) -> Generator:
         while True:
             packet = yield from self.fifo.get()
+            tel = self.stats.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "nic.au_tx",
+                    self.node_id,
+                    "nic.tx",
+                    parent=packet.span,
+                    dst=packet.dst,
+                    bytes=packet.size,
+                    fragments=packet.fragments,
+                )
+                packet.span = span
             yield Timeout(self.params.snoop_capture_us + self.params.packetize_us)
             yield from self._inject(packet)
             self.fifo.mark_injected(packet)
             self.stats.count("au.packets", packet.fragments)
+            if tel is not None:
+                tel.end(span)
 
     # -- send side: deliberate update ------------------------------------
 
@@ -171,8 +188,22 @@ class ShrimpNIC:
         Control packets share the format-and-send arbiter and the wire with
         data, so ack traffic shows up in the timing it perturbs.
         """
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "nic.ctl_tx",
+                self.node_id,
+                "nic.tx",
+                parent=packet.span,
+                dst=packet.dst,
+                seq=packet.seq,
+            )
+            packet.span = span
         yield Timeout(self.params.packetize_us)
         yield from self._inject(packet)
+        if tel is not None:
+            tel.end(span)
 
     # -- receive side --------------------------------------------------------
 
@@ -199,11 +230,29 @@ class ShrimpNIC:
             self.stats.count("rx.backpressure")
             yield from self._rx_freed.wait()
         self._rx_fill += packet.size
+        tel = self.stats.telemetry
+        if tel is not None:
+            tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
+                self.sim.now, self._rx_fill
+            )
         self._rx_queue.put(packet)
 
     def _receive_engine(self) -> Generator:
         while True:
             packet = yield from self._rx_queue.get()
+            tel = self.stats.telemetry
+            span = None
+            if tel is not None:
+                span = tel.begin(
+                    "nic.rx",
+                    self.node_id,
+                    "nic.rx",
+                    parent=packet.span,
+                    src=packet.src,
+                    bytes=packet.size,
+                    kind=packet.kind.value,
+                )
+                packet.span = span
             if self.fault_plan is not None:
                 # A stalled node's receive engine freezes for the window.
                 until = self.fault_plan.stall_until(self.node_id, self.sim.now)
@@ -221,6 +270,11 @@ class ShrimpNIC:
             if packet.corrupted:
                 # CRC failure: discard after the header work, before DMA.
                 self._rx_fill -= packet.size
+                if tel is not None:
+                    tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
+                        self.sim.now, self._rx_fill
+                    )
+                    tel.end(span, discarded=True)
                 if self._rx_freed is not None:
                     self._rx_freed.fire()
                 self.stats.count("fault.corrupt_discards")
@@ -240,6 +294,11 @@ class ShrimpNIC:
                 base = self.memory.frame_base(packet.dst_frame)
                 self.memory.write(base + packet.offset, packet.payload)
             self._rx_fill -= packet.size
+            if tel is not None:
+                tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
+                    self.sim.now, self._rx_fill
+                )
+                tel.end(span)
             if self._rx_freed is not None:
                 self._rx_freed.fire()
             self.stats.count("rx.packets", packet.fragments)
@@ -283,6 +342,15 @@ class ShrimpNIC:
             if visible_at > self.sim.now:
                 yield Timeout(visible_at - self.sim.now)
             if is_notification and self.on_notification_interrupt is not None:
+                tel = self.stats.telemetry
+                if tel is not None:
+                    tel.instant(
+                        "nic.notify_irq",
+                        self.node_id,
+                        "nic.rx",
+                        parent=packet.span,
+                        frame=packet.dst_frame,
+                    )
                 self.on_notification_interrupt(packet)
             for hook in self._delivery_hooks:
                 hook(packet)

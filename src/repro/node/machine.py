@@ -43,6 +43,7 @@ class Machine:
         nic_config: Optional[NICConfig] = None,
         seed: int = 1998,
         fault_config=None,
+        telemetry: bool = False,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one node")
@@ -75,7 +76,32 @@ class Machine:
             from ..faults import FaultPlan
 
             self.install_fault_plan(FaultPlan(fault_config, seed))
+        #: The installed telemetry collector (None: no profiling, zero
+        #: overhead — one predicate check per instrumented site).
+        self.telemetry = None
+        if telemetry:
+            self.enable_telemetry()
         self._started = False
+
+    def enable_telemetry(self, limit: int = 1_000_000):
+        """Install (or return) the machine's telemetry collector.
+
+        Arms every instrumented layer: spans, histograms and utilization
+        timelines start recording against virtual time.  Recording never
+        consumes virtual time, so enabling telemetry does not change what
+        the simulated machine does — only what is observed about it.
+        """
+        if self.telemetry is None:
+            from ..telemetry import Telemetry
+
+            self.telemetry = Telemetry(
+                lambda: self.sim.now,
+                limit=limit,
+                current_process=lambda: self.sim.current,
+            )
+            self.stats.telemetry = self.telemetry
+            self.sim.telemetry = self.telemetry
+        return self.telemetry
 
     def install_fault_plan(self, plan) -> None:
         """Bind ``plan`` to this machine and arm every injection site."""

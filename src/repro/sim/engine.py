@@ -142,6 +142,7 @@ class SimProcess:
         "_joiners",
         "_waiting_on",
         "_resume_scheduled",
+        "telemetry_stack",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
@@ -153,6 +154,9 @@ class SimProcess:
         self._joiners: list[SimProcess] = []
         self._waiting_on: Optional[Event] = None
         self._resume_scheduled = False
+        #: Open telemetry span ids of this process (innermost last); used by
+        #: repro.telemetry for implicit parent links.  None until first used.
+        self.telemetry_stack: Optional[list] = None
 
     def interrupt(self, cause: Any = None) -> None:
         """Interrupt this process if it is waiting; no-op when done."""
@@ -189,6 +193,11 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._stopped = False
+        #: The process currently being stepped (None between steps); lets
+        #: the telemetry collector attribute spans to their emitting process.
+        self.current: Optional[SimProcess] = None
+        #: Installed by Machine.enable_telemetry; None costs one predicate.
+        self.telemetry = None
 
     # -- scheduling primitives ------------------------------------------
 
@@ -209,6 +218,8 @@ class Simulator:
                 "did you forget to call the process function?"
             )
         proc = SimProcess(self, gen, name)
+        if self.telemetry is not None:
+            self.telemetry.instant("sim.spawn", -1, "sim", proc=proc.name)
         self._schedule_resume(proc, None)
         return proc
 
@@ -224,6 +235,7 @@ class Simulator:
     def _step(self, proc: SimProcess, value: Any, exc: Optional[BaseException]) -> None:
         if proc.done:
             return
+        self.current = proc
         try:
             if exc is not None:
                 request = proc.gen.throw(exc)
@@ -232,6 +244,8 @@ class Simulator:
         except StopIteration as stop:
             proc._finish(stop.value)
             return
+        finally:
+            self.current = None
         self._dispatch(proc, request)
 
     def _dispatch(self, proc: SimProcess, request: Any) -> None:

@@ -109,11 +109,17 @@ class StatsRegistry:
         self.breakdowns: Dict[int, TimeBreakdown] = defaultdict(TimeBreakdown)
         #: Optional event tracer (set by the Machine; see repro.sim.trace).
         self.tracer = None
+        #: Optional telemetry collector (set by Machine.enable_telemetry;
+        #: see repro.telemetry).  Instrumented hot paths gate on this being
+        #: None, so a run without telemetry pays one predicate per site.
+        self.telemetry = None
 
     def trace(self, category: str, node: int, message: str) -> None:
         """Emit a trace event when tracing is enabled (no-op otherwise)."""
         if self.tracer is not None:
             self.tracer.emit(category, node, message)
+        if self.telemetry is not None:
+            self.telemetry.instant(category, node, "trace", message=message)
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -142,11 +148,18 @@ class StatsRegistry:
         return TimeBreakdown.mean_of(self.breakdowns.values())
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat dict of every counter and accumulator total (for reports)."""
+        """Flat dict of every counter and accumulator total (for reports).
+
+        Accumulators report ``.mean``/``.count`` (the historical keys) plus
+        ``.min``/``.max`` once they have at least one sample.
+        """
         out: Dict[str, float] = {}
         for name, counter in sorted(self.counters.items()):
             out[name] = counter.value
         for name, acc in sorted(self.accumulators.items()):
             out[f"{name}.mean"] = acc.mean
             out[f"{name}.count"] = acc.count
+            if acc.count:
+                out[f"{name}.min"] = acc.min
+                out[f"{name}.max"] = acc.max
         return out

@@ -1,17 +1,23 @@
 """Event tracing: a lightweight, queryable record of what the machine did.
 
-Any component can emit trace events through a :class:`Tracer`; tracing is
-off by default and costs one predicate check when disabled.  Events carry
-the virtual timestamp, a category (e.g. ``"nic.tx"``, ``"svm.fault"``), a
-node id and a free-form description, and can be filtered, counted, sliced
-by time window, or dumped as text — the debugging workflow for protocol
-work on the simulated machine.
+Since the telemetry subsystem landed (see :mod:`repro.telemetry`), the
+tracer is a **thin sink over the telemetry event stream**: every trace line
+is an instant :class:`~repro.telemetry.events.TelemetryEvent` on the
+``"trace"`` track, and :meth:`Tracer.accept` is a sink usable with
+:meth:`repro.telemetry.Telemetry.add_sink` to mirror any telemetry traffic
+(spans included) into the familiar text form.  The historical API is
+unchanged: tracing is off by default and costs one predicate check when
+disabled; events carry the virtual timestamp, a category, a node id and a
+free-form description, and can be filtered, counted, sliced by time window,
+or dumped as text.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
+
+from ..telemetry.events import PHASE_INSTANT, TelemetryEvent
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -28,7 +34,11 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records while enabled."""
+    """Collects :class:`TraceEvent` records while enabled.
+
+    Internally every record flows through :meth:`accept` as a telemetry
+    event, so the tracer and the telemetry collector share one event model.
+    """
 
     def __init__(self, clock: Callable[[], float], limit: int = 100_000):
         self._clock = clock
@@ -61,12 +71,37 @@ class Tracer:
     def emit(self, category: str, node: int, message: str) -> None:
         if not self.enabled:
             return
-        if self._category_filter is not None and not self._category_filter(category):
+        self.accept(
+            TelemetryEvent(
+                PHASE_INSTANT,
+                category,
+                self._clock(),
+                node,
+                "trace",
+                0,
+                None,
+                {"message": message},
+            )
+        )
+
+    def accept(self, event: TelemetryEvent) -> None:
+        """Sink interface: record one telemetry event as a text trace line.
+
+        Usable directly with ``telemetry.add_sink(tracer.accept)`` to mirror
+        span begin/end traffic into the tracer's queryable text log.
+        """
+        if not self.enabled:
+            return
+        if self._category_filter is not None and not self._category_filter(
+            event.name
+        ):
             return
         if len(self.events) >= self.limit:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(self._clock(), category, node, message))
+        self.events.append(
+            TraceEvent(event.time, event.name, event.node, event.describe())
+        )
 
     # -- queries ----------------------------------------------------------
 

@@ -28,16 +28,30 @@ def format_table(
 
 
 def format_series(title: str, x_label: str, series: dict) -> str:
-    """Render named (x, y) series as aligned columns (a textual figure)."""
+    """Render named (x, y) series as aligned columns (a textual figure).
+
+    A series may contain repeated x values (e.g. repeated trials at one
+    point); every occurrence gets its own row, matched up across series by
+    occurrence order rather than silently collapsed to the last value.
+    """
     xs = sorted({x for points in series.values() for x, _y in points})
+    # Per series: x -> its y values in point order (duplicates preserved).
+    columns = {}
+    for name, points in series.items():
+        by_x: dict = {}
+        for x, y in points:
+            by_x.setdefault(x, []).append(y)
+        columns[name] = by_x
     headers = [x_label] + list(series)
     rows = []
     for x in xs:
-        row: List[object] = [x]
-        for name in series:
-            lookup = dict(series[name])
-            row.append(lookup.get(x, ""))
-        rows.append(row)
+        depth = max(len(columns[name].get(x, ())) for name in series)
+        for i in range(depth):
+            row: List[object] = [x]
+            for name in series:
+                ys = columns[name].get(x, ())
+                row.append(ys[i] if i < len(ys) else "")
+            rows.append(row)
     return format_table(title, headers, rows)
 
 

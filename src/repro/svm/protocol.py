@@ -328,9 +328,18 @@ class SVMNode:
             "svm.fault", self.endpoint.node_id,
             f"read fault region={region.name} page={page_index}",
         )
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "svm.fault", self.endpoint.node_id, "svm",
+                kind="read", region=region.name, page=page_index,
+            )
         yield from self._fault_overhead()
         yield from self._fetch_page(region, page_index)
         self._set_state(region, page_index, PageState.READ)
+        if tel is not None:
+            tel.end(span)
 
     def _write_fault(self, region: SharedRegion, page_index: int) -> Generator:
         self.write_faults += 1
@@ -339,6 +348,13 @@ class SVMNode:
             "svm.fault", self.endpoint.node_id,
             f"write fault region={region.name} page={page_index}",
         )
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "svm.fault", self.endpoint.node_id, "svm",
+                kind="write", region=region.name, page=page_index,
+            )
         yield from self._fault_overhead()
         if self._state(region, page_index) == PageState.INVALID:
             yield from self._fetch_page(region, page_index)
@@ -346,6 +362,8 @@ class SVMNode:
         yield from self._on_write_fault(region, page_index, gpage)
         self.dirty.add(gpage)
         self._set_state(region, page_index, PageState.WRITE)
+        if tel is not None:
+            tel.end(span)
 
     def _on_write_fault(
         self, region: SharedRegion, page_index: int, gpage: int
@@ -401,6 +419,12 @@ class SVMNode:
         """Acquire a global lock; applies pending invalidations."""
         yield from self._flush_access()
         t0 = self.sim.now
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "svm.lock_acquire", self.endpoint.node_id, "svm", lock=lock_id
+            )
         manager = lock_id % self.protocol.nprocs
         req_id = self._new_req()
         self.stats.count("svm.lock_requests")
@@ -415,11 +439,19 @@ class SVMNode:
             yield from self._await_reply(manager, REP_LOCK_GRANT, req_id)
         self._charge_wait(t0, "lock")
         yield from self._apply_invalidations()
+        if tel is not None:
+            tel.end(span)
 
     def release(self, lock_id: int) -> Generator:
         """Release a lock: close the interval, then hand the lock on."""
         yield from self._flush_access()
         t0 = self.sim.now
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "svm.lock_release", self.endpoint.node_id, "svm", lock=lock_id
+            )
         yield from self._close_interval()
         manager = lock_id % self.protocol.nprocs
         req_id = self._new_req()
@@ -430,11 +462,17 @@ class SVMNode:
                 manager, REQ_LOCK_REL, _LOCK_MSG.pack(req_id, lock_id, 0)
             )
         self._charge_wait(t0, "lock")
+        if tel is not None:
+            tel.end(span)
 
     def barrier(self) -> Generator:
         """Global barrier: close interval, rendezvous, invalidate."""
         yield from self._flush_access()
         t0 = self.sim.now
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin("svm.barrier", self.endpoint.node_id, "svm")
         yield from self._close_interval()
         self._barrier_epoch += 1
         manager = 0
@@ -452,6 +490,8 @@ class SVMNode:
             yield from self._await_reply(manager, REP_BARRIER_GO, req_id)
         self._charge_wait(t0, "barrier")
         yield from self._apply_invalidations()
+        if tel is not None:
+            tel.end(span)
 
     def _charge_wait(self, t0: float, category: str) -> None:
         elapsed = self.sim.now - t0

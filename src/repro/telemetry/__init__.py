@@ -1,0 +1,47 @@
+"""repro.telemetry: causal spans, metrics and trace export.
+
+The profiling substrate of the reproduction (DESIGN.md section 9).  A
+:class:`Telemetry` collector installed on a machine records **causal
+spans** (begin/end events with parent links that follow one transfer
+app -> VMMC -> NIC -> backplane -> remote NIC -> delivery), **histograms**
+with tail percentiles, and per-resource **utilization timelines**, all
+against virtual time and at zero virtual-time cost.  Exporters render the
+stream as Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto),
+JSONL, or ASCII summary tables.
+
+Quick start::
+
+    from repro import Machine
+    machine = Machine(num_nodes=4)
+    tel = machine.enable_telemetry()
+    ...  # run a workload
+    from repro.telemetry import write_chrome_trace, summarize
+    write_chrome_trace(tel, "run.trace.json")
+    print(summarize(tel))
+
+Or from the command line::
+
+    python -m repro.telemetry du-ping --out run.trace.json
+"""
+
+from .collector import Span, Telemetry
+from .events import TelemetryEvent
+from .export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from .metrics import Gauge, Histogram, Timeline
+from .report import latency_breakdown, summarize, utilization_report
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "TelemetryEvent",
+    "Histogram",
+    "Gauge",
+    "Timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "latency_breakdown",
+    "utilization_report",
+    "summarize",
+]

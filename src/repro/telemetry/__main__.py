@@ -1,0 +1,180 @@
+"""Profile a workload on an instrumented machine: ``python -m repro.telemetry``.
+
+Runs one workload with telemetry armed, writes a Chrome-trace JSON (open it
+at ``chrome://tracing`` or https://ui.perfetto.dev), and prints the
+per-layer latency breakdown and resource-utilization tables.
+
+Workloads:
+
+* ``du-ping`` — a synthetic two-node deliberate-update transfer with a
+  notification.  Small and fast; the resulting trace shows one message as a
+  causally-linked span tree: app send -> vmmc.send -> nic.du -> net.transmit
+  -> remote nic.rx -> delivery/notification instants.
+* ``rel-ping`` — the same transfer over the reliable channel on a lossy
+  fabric (``--drop-rate``), so the trace includes retransmission rounds
+  parented to the original send.
+* any application from the study suite (``Radix-VMMC``, ``Barnes-NX``, ...).
+
+Examples::
+
+    python -m repro.telemetry du-ping --out ping.trace.json --tree
+    python -m repro.telemetry rel-ping --drop-rate 0.2 --out retx.trace.json
+    python -m repro.telemetry Radix-VMMC --mode du --nprocs 4 --out radix.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import write_chrome_trace, write_jsonl
+from .report import summarize
+
+SYNTHETIC = ("du-ping", "rel-ping")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from ..study.suite import SUITE
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Run one workload with telemetry and export the trace.",
+    )
+    parser.add_argument(
+        "workload",
+        choices=list(SYNTHETIC) + sorted(SUITE),
+        help="synthetic workload or study-suite application",
+    )
+    parser.add_argument(
+        "--mode", choices=("au", "du"), default=None,
+        help="communication mode for suite applications (default: best mode)",
+    )
+    parser.add_argument(
+        "--nprocs", type=int, default=4,
+        help="number of nodes for suite applications (default: 4)",
+    )
+    parser.add_argument(
+        "--bytes", type=int, default=2048, dest="nbytes",
+        help="message size for the synthetic workloads (default: 2048)",
+    )
+    parser.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="packet drop probability (arms the fault injector)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1998, help="deterministic seed"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON to FILE",
+    )
+    parser.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="write the raw event stream as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=1_000_000,
+        help="telemetry event-buffer limit (default: 1000000)",
+    )
+    parser.add_argument(
+        "--tree", action="store_true",
+        help="print the span tree of the first library-level send",
+    )
+    return parser
+
+
+def _make_machine(num_nodes: int, args, params=None):
+    from ..node import Machine
+
+    fault_config = None
+    if args.drop_rate > 0:
+        from ..faults import FaultConfig
+
+        fault_config = FaultConfig(drop_rate=args.drop_rate)
+    machine = Machine(
+        num_nodes,
+        params=params,
+        seed=args.seed,
+        fault_config=fault_config,
+    )
+    machine.enable_telemetry(limit=args.limit)
+    return machine
+
+
+def _run_ping(args, reliable: bool):
+    """Two nodes, one message from node 0 into a buffer exported by node 1."""
+    from ..vmmc import ReliableConfig, VMMCRuntime
+
+    machine = _make_machine(2, args)
+    vmmc = VMMCRuntime(machine)
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+    nbytes = args.nbytes
+    payload = (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+    def rx():
+        buffer = yield from receiver.export(
+            nbytes, name="ping", enable_notifications=True
+        )
+        yield from receiver.wait_bytes(buffer, nbytes)
+
+    def tx():
+        imported = yield from sender.import_buffer("ping")
+        src = sender.alloc(nbytes)
+        sender.poke(src, payload)
+        if reliable:
+            channel = sender.open_reliable(
+                imported, ReliableConfig(timeout_us=300.0)
+            )
+            yield from channel.send(src, nbytes)
+        else:
+            yield from sender.send(
+                imported, src, nbytes, interrupt=True, sync_delivered=True
+            )
+
+    machine.sim.spawn(rx(), "rx")
+    machine.sim.spawn(tx(), "tx")
+    machine.sim.run()
+    return machine.telemetry, f"{'rel' if reliable else 'du'}-ping {nbytes}B"
+
+
+def _run_suite_app(args):
+    from ..apps.base import run_app
+    from ..study.suite import spec
+
+    app_spec = spec(args.workload)
+    mode = args.mode or app_spec.best_mode
+    machine = _make_machine(args.nprocs, args, params=app_spec.params)
+    result = run_app(
+        app_spec.factory(mode), args.nprocs, machine=machine
+    )
+    print(f"{result!r}", file=sys.stderr)
+    return machine.telemetry, f"{app_spec.name} {mode} P={args.nprocs}"
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.workload in SYNTHETIC:
+        telemetry, label = _run_ping(args, reliable=args.workload == "rel-ping")
+    else:
+        telemetry, label = _run_suite_app(args)
+
+    if args.out:
+        write_chrome_trace(telemetry, args.out, label=label)
+        print(f"wrote Chrome trace: {args.out}", file=sys.stderr)
+    if args.jsonl:
+        write_jsonl(telemetry, args.jsonl)
+        print(f"wrote event stream: {args.jsonl}", file=sys.stderr)
+
+    print(summarize(telemetry, label=label))
+    if args.tree:
+        sends = telemetry.spans("vmmc.send") or telemetry.spans()
+        if sends:
+            root = telemetry.ancestry(sends[0].span_id)[-1]
+            print("\nSpan tree of the first send:")
+            print(telemetry.span_tree(root.span_id))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Telemetry metrics: histograms, gauges, and virtual-time timelines.
+
+These complement the flat :class:`~repro.sim.stats.StatsRegistry` counters:
+a :class:`Histogram` answers "what was the p95 of this latency?", a
+:class:`Timeline` answers "what fraction of the run was this link busy?" —
+the shape of evidence behind the paper's tables, which a single mean cannot
+provide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["Histogram", "Gauge", "Timeline"]
+
+
+class Histogram:
+    """Latency/size samples with percentile queries (exact, sorted lazily)."""
+
+    __slots__ = ("name", "_samples", "_sorted", "total")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+        self.total = 0.0
+
+    def add(self, sample: float) -> None:
+        self._samples.append(sample)
+        self.total += sample
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.3f}, "
+            f"p95={self.p95:.3f})"
+        )
+
+
+class Gauge:
+    """A last-value metric that remembers its extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Timeline:
+    """A step-valued series sampled against virtual time.
+
+    ``record(t, v)`` states that the quantity has value ``v`` from ``t``
+    until the next sample.  Used for resource utilization: link busy state
+    (0/1), FIFO fill bytes, CPU busy depth.  Queries integrate the step
+    function, so ``busy_fraction`` is an exact utilization over a window,
+    not an average of samples.
+    """
+
+    __slots__ = ("name", "node", "points")
+
+    def __init__(self, name: str, node: int = 0):
+        self.name = name
+        self.node = node
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        points = self.points
+        if points:
+            last_t, _last_v = points[-1]
+            if time < last_t:
+                raise ValueError(f"timeline {self.name}: time went backwards")
+            if time == last_t:
+                points[-1] = (time, value)
+                return
+        points.append((time, value))
+
+    @property
+    def last_value(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    @property
+    def max_value(self) -> float:
+        return max((v for _t, v in self.points), default=0.0)
+
+    def value_at(self, time: float) -> float:
+        """Step interpolation: the value most recently recorded at ``time``."""
+        value = 0.0
+        for t, v in self.points:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Integral of the step function over [t0, t1]."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        value = 0.0
+        prev = t0
+        for t, v in self.points:
+            if t <= t0:
+                value = v
+                continue
+            if t >= t1:
+                break
+            total += value * (t - prev)
+            prev, value = t, v
+        total += value * (t1 - prev)
+        return total
+
+    def time_weighted_mean(self, t0: float, t1: float) -> float:
+        return self.integrate(t0, t1) / (t1 - t0) if t1 > t0 else 0.0
+
+    def busy_fraction(self, t0: float, t1: float) -> float:
+        """Fraction of [t0, t1] during which the value was non-zero."""
+        if t1 <= t0:
+            return 0.0
+        busy = 0.0
+        value = 0.0
+        prev = t0
+        for t, v in self.points:
+            if t <= t0:
+                value = v
+                continue
+            if t >= t1:
+                break
+            if value:
+                busy += t - prev
+            prev, value = t, v
+        if value:
+            busy += t1 - prev
+        return busy / (t1 - t0)
+
+    def __repr__(self) -> str:
+        return f"Timeline({self.name}: {len(self.points)} samples)"

@@ -99,6 +99,11 @@ class VMMCRuntime:
         if packet.kind is PacketKind.CONTROL:
             self._on_ack_packet(packet)
             return
+        tel = self.stats.telemetry
+        if tel is not None and packet.last_of_message:
+            tel.instant(
+                "vmmc.deliver", node_id, "vmmc", parent=packet.span, src=packet.src
+            )
         count_message = (
             packet.kind is PacketKind.DELIBERATE_UPDATE and packet.last_of_message
         )
@@ -126,6 +131,11 @@ class VMMCRuntime:
         self._reliable_senders[channel.channel_id] = channel
 
     def _on_ack_packet(self, packet: Packet) -> None:
+        tel = self.stats.telemetry
+        if tel is not None:
+            tel.instant(
+                "vmmc.ack", packet.dst, "vmmc", parent=packet.span, seq=packet.seq
+            )
         sender = self._reliable_senders.get(packet.channel)
         if sender is not None:
             sender._on_ack(packet.seq)
@@ -159,6 +169,11 @@ class VMMCRuntime:
         return accepted
 
     def _on_notification(self, node_id: int, packet: Packet) -> None:
+        tel = self.stats.telemetry
+        if tel is not None:
+            tel.instant(
+                "vmmc.notify", node_id, "vmmc", parent=packet.span, src=packet.src
+            )
         buffer = self._buffer_for_frame(node_id, packet.dst_frame)
         if buffer is None:
             return
@@ -369,6 +384,18 @@ class VMMCEndpoint:
         if dst_offset + nbytes > imported.nbytes:
             raise VMMCError("send overruns the remote buffer")
         self.stats.count("vmmc.messages_sent")
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            # Implicitly parented to the caller's innermost open span (e.g.
+            # an nx.csend); each per-page transfer carries the span onward.
+            span = tel.begin(
+                "vmmc.send",
+                self.node_id,
+                "vmmc",
+                bytes=nbytes,
+                dst=imported.remote_node,
+            )
 
         if not self.node.nic.config.user_level_dma:
             # What-if (Table 2): a system call before every message send.
@@ -397,6 +424,7 @@ class VMMCEndpoint:
                 dst_offset=remote_off,
                 interrupt=interrupt and is_last,
                 last_of_message=is_last,
+                span=span,
             )
             # The two-instruction user-level initiation sequence.
             yield from self.node.cpu.busy(self.params.udma_init_us, "communication")
@@ -412,6 +440,8 @@ class VMMCEndpoint:
             for request in requests:
                 if not request.sent.triggered:
                     yield request.sent
+        if tel is not None:
+            tel.end(span, transfers=len(requests))
         return requests
 
     # -- automatic update ----------------------------------------------------

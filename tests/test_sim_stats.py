@@ -120,3 +120,24 @@ def test_rng_keys_helper():
     keys = rng.keys(100, 50)
     assert len(keys) == 100
     assert all(0 <= k < 50 for k in keys)
+
+
+def test_registry_snapshot_min_max():
+    stats = StatsRegistry()
+    stats.sample("b", 2.0)
+    stats.sample("b", 8.0)
+    stats.sample("b", 5.0)
+    snap = stats.snapshot()
+    # Existing keys stay stable; min/max ride along.
+    assert snap["b.mean"] == 5.0
+    assert snap["b.count"] == 3
+    assert snap["b.min"] == 2.0
+    assert snap["b.max"] == 8.0
+
+
+def test_registry_snapshot_empty_accumulator_has_no_min_max():
+    stats = StatsRegistry()
+    stats.accumulator("empty")
+    snap = stats.snapshot()
+    assert "empty.min" not in snap
+    assert "empty.max" not in snap

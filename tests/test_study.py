@@ -133,3 +133,16 @@ def test_report_formatting():
     assert "2.50" in table
     series = format_series("S", "x", {"s1": [(1, 2.0)], "s2": [(1, 3.0), (2, 4.0)]})
     assert "s1" in series and "4.00" in series
+
+
+def test_format_series_preserves_duplicate_x():
+    # Regression: duplicate x values used to be collapsed via dict(),
+    # silently keeping only the last y.  Every occurrence must render.
+    series = format_series(
+        "S", "x", {"s1": [(1, 2.0), (1, 9.0), (2, 5.0)], "s2": [(1, 3.0)]}
+    )
+    assert "2.00" in series and "9.00" in series
+    x1_rows = [
+        line for line in series.splitlines() if line.split("|")[0].strip() == "1"
+    ]
+    assert len(x1_rows) == 2

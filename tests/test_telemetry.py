@@ -1,0 +1,261 @@
+"""Tests for the telemetry subsystem (repro.telemetry)."""
+
+import json
+
+from repro import Machine
+from repro.faults import FaultConfig
+from repro.telemetry import (
+    Histogram,
+    Timeline,
+    latency_breakdown,
+    summarize,
+    to_chrome_trace,
+    to_jsonl,
+    utilization_report,
+)
+from repro.telemetry.export import SIM_PID
+from repro.vmmc import ReliableConfig, VMMCRuntime
+
+
+def _du_ping(machine, nbytes=2048, reliable=False, rel_config=None):
+    """One DU message node 0 -> node 1; returns the machine (run to idle)."""
+    vmmc = VMMCRuntime(machine)
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+    payload = (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+    def rx():
+        buffer = yield from receiver.export(
+            nbytes, name="ping", enable_notifications=True
+        )
+        yield from receiver.wait_bytes(buffer, nbytes)
+
+    def tx():
+        imported = yield from sender.import_buffer("ping")
+        src = sender.alloc(nbytes)
+        sender.poke(src, payload)
+        if reliable:
+            channel = sender.open_reliable(imported, rel_config)
+            yield from channel.send(src, nbytes)
+        else:
+            yield from sender.send(
+                imported, src, nbytes, interrupt=True, sync_delivered=True
+            )
+
+    machine.sim.spawn(rx(), "rx")
+    machine.sim.spawn(tx(), "tx")
+    machine.sim.run()
+    return machine
+
+
+# -- causal spans ---------------------------------------------------------
+
+
+def test_du_transfer_span_chain_crosses_four_layers():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    tel = machine.telemetry
+    rx_spans = tel.spans("nic.rx")
+    assert len(rx_spans) == 1
+    chain = tel.ancestry(rx_spans[0].span_id)
+    names = [span.name for span in chain]
+    # remote NIC -> backplane -> local NIC DMA -> VMMC library send.
+    assert names == ["nic.rx", "net.transmit", "nic.du", "vmmc.send"]
+    # The chain crosses nodes: receive on 1, everything else issued on 0.
+    assert chain[0].node == 1
+    assert {span.node for span in chain[1:]} == {0}
+    # Parent spans fully enclose or precede their children in virtual time.
+    for child, parent in zip(chain, chain[1:]):
+        assert child.start >= parent.start
+    assert not tel.open_spans()
+
+
+def test_delivery_and_notification_instants_link_to_rx_span():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    tel = machine.telemetry
+    rx_span = tel.spans("nic.rx")[0]
+    delivers = tel.instants("vmmc.deliver")
+    notifies = tel.instants("vmmc.notify")
+    assert delivers and notifies
+    assert delivers[0].parent_id == rx_span.span_id
+    assert notifies[0].parent_id == rx_span.span_id
+
+
+def test_forced_retransmit_parents_to_original_send():
+    machine = _du_ping(
+        Machine(
+            num_nodes=2,
+            telemetry=True,
+            fault_config=FaultConfig(drop_rate=0.4),
+        ),
+        nbytes=16 * 1024,
+        reliable=True,
+        rel_config=ReliableConfig(timeout_us=300.0),
+    )
+    tel = machine.telemetry
+    sends = tel.spans("vmmc.send")
+    assert len(sends) == 1
+    # The "vmmc" track carries the protocol's own retx instants (the
+    # stats.trace mirror of the same name lands on the "trace" track).
+    retx = [e for e in tel.instants("vmmc.retx") if e.track == "vmmc"]
+    assert retx, "drop_rate=0.4 should force at least one retransmission"
+    assert all(event.parent_id == sends[0].span_id for event in retx)
+    # Re-issued transfers spawn nic.du spans under the same send.
+    du_spans = tel.spans("nic.du")
+    assert len(du_spans) > 4  # 4 pages + at least one retransmit
+    assert all(span.parent_id == sends[0].span_id for span in du_spans)
+
+
+def test_implicit_parenting_uses_process_span_stack():
+    machine = Machine(num_nodes=1, telemetry=True)
+    tel = machine.telemetry
+
+    def proc():
+        outer = tel.begin("outer", 0, "app")
+        inner = tel.begin("inner", 0, "app")  # implicit parent: outer
+        tel.end(inner)
+        tel.end(outer)
+        yield from ()
+
+    machine.sim.spawn(proc(), "p")
+    machine.sim.run()
+    inner = tel.spans("inner")[0]
+    outer = tel.spans("outer")[0]
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+
+
+# -- zero-overhead gating -------------------------------------------------
+
+
+def test_telemetry_off_is_byte_identical():
+    plain = _du_ping(Machine(num_nodes=2, seed=7))
+    profiled = _du_ping(Machine(num_nodes=2, seed=7, telemetry=True))
+    assert plain.telemetry is None
+    assert plain.sim.now == profiled.sim.now
+    assert plain.stats.snapshot() == profiled.stats.snapshot()
+
+
+def test_telemetry_off_app_run_identical():
+    from repro.apps.base import run_app
+    from repro.study.suite import spec
+
+    app_spec = spec("Radix-VMMC")
+    plain = run_app(app_spec.factory("du"), 2)
+    machine = Machine(2, telemetry=True)
+    profiled = run_app(app_spec.factory("du"), 2, machine=machine)
+    assert plain.elapsed_us == profiled.elapsed_us
+    assert plain.stats == profiled.stats
+    assert machine.telemetry.spans("vmmc.send")
+
+
+# -- exporters ------------------------------------------------------------
+
+
+def test_chrome_trace_round_trips_json():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    doc = json.loads(json.dumps(to_chrome_trace(machine.telemetry)))
+    events = doc["traceEvents"]
+    assert events
+    valid_phases = {"B", "E", "X", "i", "s", "f", "C", "M"}
+    for event in events:
+        assert event["ph"] in valid_phases
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+    # Complete spans for the whole DU chain, plus flow arrows linking them.
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    assert {"vmmc.send", "nic.du", "net.transmit", "nic.rx"} <= span_names
+    assert any(e["ph"] == "s" for e in events)
+    assert any(e["ph"] == "f" for e in events)
+    # pid 0/1 are the two nodes; counters use the node pid too.
+    pids = {e["pid"] for e in events}
+    assert {0, 1} <= pids
+    assert all(pid in (0, 1, SIM_PID) for pid in pids)
+
+
+def test_jsonl_export_one_document_per_line():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    lines = list(to_jsonl(machine.telemetry))
+    assert len(lines) >= len(machine.telemetry.events)
+    for line in lines:
+        doc = json.loads(line)
+        assert "ph" in doc and "name" in doc
+
+
+def test_reports_render():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    text = summarize(machine.telemetry, label="test")
+    assert "Profile: test" in text
+    assert "vmmc.send" in latency_breakdown(machine.telemetry)
+    assert "rxfifo.n1" in utilization_report(machine.telemetry)
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from repro.telemetry.__main__ import main
+
+    out = tmp_path / "ping.trace.json"
+    assert main(["du-ping", "--out", str(out), "--tree"]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    captured = capsys.readouterr()
+    assert "Per-layer latency breakdown" in captured.out
+    assert "vmmc.send" in captured.out
+
+
+# -- metrics --------------------------------------------------------------
+
+
+def test_histogram_percentiles():
+    hist = Histogram("h")
+    for value in range(1, 101):
+        hist.add(float(value))
+    assert hist.count == 100
+    assert hist.p50 == 50.0
+    assert hist.p95 == 95.0
+    assert hist.p99 == 99.0
+    assert hist.min == 1.0 and hist.max == 100.0
+    assert hist.mean == 50.5
+
+
+def test_timeline_busy_fraction_and_integral():
+    timeline = Timeline("t", 0)
+    timeline.record(0.0, 0)
+    timeline.record(10.0, 2)
+    timeline.record(30.0, 0)
+    assert timeline.value_at(5.0) == 0
+    assert timeline.value_at(15.0) == 2
+    assert timeline.busy_fraction(0.0, 40.0) == 0.5
+    assert timeline.integrate(0.0, 40.0) == 40.0
+    assert timeline.time_weighted_mean(0.0, 40.0) == 1.0
+    assert timeline.max_value == 2
+
+
+def test_timeline_rejects_backwards_time():
+    timeline = Timeline("t", 0)
+    timeline.record(10.0, 1)
+    try:
+        timeline.record(5.0, 2)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("backwards record must raise")
+
+
+def test_span_durations_feed_histograms():
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    tel = machine.telemetry
+    hist = tel.histograms["nic.du"]
+    spans = tel.spans("nic.du")
+    assert hist.count == len(spans)
+    assert hist.max == max(span.duration for span in spans)
+
+
+def test_tracer_mirrors_telemetry_via_sink():
+    machine = Machine(num_nodes=2, telemetry=True)
+    machine.tracer.enable()
+    machine.telemetry.add_sink(machine.tracer.accept)
+    _du_ping(machine)
+    assert machine.tracer.count("vmmc.send") >= 2  # begin + end
+    assert machine.tracer.count("nic.rx") >= 2
