@@ -32,7 +32,7 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Machine",

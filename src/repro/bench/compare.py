@@ -1,0 +1,253 @@
+"""Statistical comparison of two ``BENCH_*.json`` documents.
+
+Samples in the two files are **paired by position** (same benchmark, same
+seed list, same operation index), so the unit of analysis is the paired
+difference.  The detector bootstraps the median of those differences with
+a fixed-seed resampler — deterministic output for a deterministic input —
+and flags a benchmark when
+
+1. the bootstrap confidence interval on the median difference excludes
+   zero, *and*
+2. the relative change in the medians exceeds the threshold,
+
+with the direction interpreted through the benchmark's
+``higher_is_better`` flag.  Identical files always compare clean: every
+paired difference is zero, so the interval is exactly ``[0, 0]``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Delta",
+    "Comparison",
+    "bootstrap_median_diff",
+    "compare_docs",
+    "render_comparison",
+]
+
+#: Fixed resampler seed: comparisons are reproducible bit-for-bit.
+BOOTSTRAP_SEED = 0x5181137
+
+
+@dataclass
+class Delta:
+    """One benchmark's old-vs-new verdict."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    base_median: float
+    new_median: float
+    diff: float  # median of paired differences (new - base)
+    rel: float  # (new_median - base_median) / |base_median|
+    ci_lo: float
+    ci_hi: float
+    pairs: int
+    verdict: str  # "ok" | "regression" | "improvement"
+    #: Per-component attribution shift (new mean - base mean), when both
+    #: documents carry attribution vectors for this benchmark.
+    attribution_shift: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class Comparison:
+    label_new: str
+    label_base: str
+    threshold: float
+    deltas: List[Delta]
+    only_in_new: List[str]
+    only_in_base: List[str]
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+
+def bootstrap_median_diff(
+    base: List[float],
+    new: List[float],
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: int = BOOTSTRAP_SEED,
+) -> Tuple[float, float, float]:
+    """Median paired difference and its bootstrap ``1 - alpha`` CI.
+
+    Pairs are formed by position; a length mismatch pairs the common
+    prefix (the harness keeps sample order stable across runs).
+    """
+    n = min(len(base), len(new))
+    if n == 0:
+        raise ValueError("cannot compare empty sample lists")
+    diffs = [new[i] - base[i] for i in range(n)]
+    point = statistics.median(diffs)
+    if n == 1:
+        return point, diffs[0], diffs[0]
+    rng = random.Random(seed)
+    medians = sorted(
+        statistics.median(rng.choices(diffs, k=n)) for _ in range(n_boot)
+    )
+    lo_index = int((alpha / 2.0) * n_boot)
+    hi_index = min(n_boot - 1, int((1.0 - alpha / 2.0) * n_boot))
+    return point, medians[lo_index], medians[hi_index]
+
+
+def _verdict(
+    delta: float,
+    ci_lo: float,
+    ci_hi: float,
+    rel: float,
+    higher_is_better: bool,
+    threshold: float,
+) -> str:
+    excludes_zero_up = ci_lo > 0.0
+    excludes_zero_down = ci_hi < 0.0
+    if higher_is_better:
+        worse, better = excludes_zero_down, excludes_zero_up
+        worse_rel, better_rel = rel < -threshold, rel > threshold
+    else:
+        worse, better = excludes_zero_up, excludes_zero_down
+        worse_rel, better_rel = rel > threshold, rel < -threshold
+    if worse and worse_rel:
+        return "regression"
+    if better and better_rel:
+        return "improvement"
+    return "ok"
+
+
+def compare_docs(
+    new_doc: Dict,
+    base_doc: Dict,
+    threshold: float = 0.05,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+) -> Comparison:
+    """Compare every benchmark present in both documents."""
+    new_benchmarks = new_doc["benchmarks"]
+    base_benchmarks = base_doc["benchmarks"]
+    shared = [n for n in new_benchmarks if n in base_benchmarks]
+    deltas: List[Delta] = []
+    for name in shared:
+        new_entry = new_benchmarks[name]
+        base_entry = base_benchmarks[name]
+        diff, ci_lo, ci_hi = bootstrap_median_diff(
+            base_entry["samples"], new_entry["samples"], n_boot, alpha
+        )
+        base_median = base_entry["median"]
+        new_median = new_entry["median"]
+        rel = (
+            (new_median - base_median) / abs(base_median)
+            if base_median
+            else (0.0 if new_median == base_median else float("inf"))
+        )
+        verdict = _verdict(
+            diff, ci_lo, ci_hi, rel,
+            new_entry.get("higher_is_better", False), threshold,
+        )
+        shift = None
+        if "attribution" in new_entry and "attribution" in base_entry:
+            keys = set(new_entry["attribution"]) | set(base_entry["attribution"])
+            shift = {
+                key: new_entry["attribution"].get(key, 0.0)
+                - base_entry["attribution"].get(key, 0.0)
+                for key in sorted(keys)
+            }
+        deltas.append(
+            Delta(
+                name=name,
+                unit=new_entry["unit"],
+                higher_is_better=new_entry.get("higher_is_better", False),
+                base_median=base_median,
+                new_median=new_median,
+                diff=diff,
+                rel=rel,
+                ci_lo=ci_lo,
+                ci_hi=ci_hi,
+                pairs=min(
+                    len(base_entry["samples"]), len(new_entry["samples"])
+                ),
+                verdict=verdict,
+                attribution_shift=shift,
+            )
+        )
+    return Comparison(
+        label_new=new_doc.get("label", "?"),
+        label_base=base_doc.get("label", "?"),
+        threshold=threshold,
+        deltas=deltas,
+        only_in_new=[n for n in new_benchmarks if n not in base_benchmarks],
+        only_in_base=[n for n in base_benchmarks if n not in new_benchmarks],
+    )
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """The delta table plus attribution shifts for flagged benchmarks."""
+    from ..study.report import format_table
+
+    marks = {"ok": "", "regression": "REGRESSION", "improvement": "improved"}
+    rows = []
+    for delta in comparison.deltas:
+        rows.append(
+            [
+                delta.name,
+                delta.unit,
+                delta.base_median,
+                delta.new_median,
+                f"{delta.diff:+.3f}",
+                f"{100.0 * delta.rel:+.1f}%",
+                f"[{delta.ci_lo:+.3f}, {delta.ci_hi:+.3f}]",
+                marks[delta.verdict],
+            ]
+        )
+    parts = [
+        format_table(
+            f"Benchmark deltas: {comparison.label_new} vs "
+            f"{comparison.label_base} "
+            f"(threshold {100 * comparison.threshold:.0f}%, paired bootstrap "
+            f"95% CI on the median)",
+            ["benchmark", "unit", "base", "new", "d(median)", "d%", "95% CI",
+             "verdict"],
+            rows,
+        )
+    ]
+    flagged = comparison.regressions + comparison.improvements
+    for delta in flagged:
+        if not delta.attribution_shift:
+            continue
+        moved = {
+            key: value
+            for key, value in delta.attribution_shift.items()
+            if abs(value) > 1e-9
+        }
+        if not moved:
+            continue
+        shift_rows = [[key, f"{value:+.3f}"] for key, value in moved.items()]
+        parts.append(
+            format_table(
+                f"{delta.name}: where the microseconds moved (mean us/op)",
+                ["component", "shift"],
+                shift_rows,
+            )
+        )
+    if comparison.only_in_new or comparison.only_in_base:
+        notes = []
+        if comparison.only_in_new:
+            notes.append(f"only in new: {', '.join(comparison.only_in_new)}")
+        if comparison.only_in_base:
+            notes.append(f"only in base: {', '.join(comparison.only_in_base)}")
+        parts.append("Not compared — " + "; ".join(notes))
+    summary = (
+        f"{len(comparison.deltas)} compared, "
+        f"{len(comparison.regressions)} regression(s), "
+        f"{len(comparison.improvements)} improvement(s)"
+    )
+    parts.append(summary)
+    return "\n\n".join(parts)

@@ -1,0 +1,248 @@
+"""The curated benchmark set.
+
+Three families:
+
+* **micro** — the section 4.1 microbenchmarks (word latency, send
+  overhead, bulk bandwidth), one sample per seed;
+* **ping** — telemetry-instrumented message streams whose per-operation
+  ``vmmc.send`` spans yield latency distributions *and* critical-path
+  attribution vectors (including a lossy reliable-channel variant, where
+  retransmission timeouts surface as ``stall``);
+* **apps** — study-suite applications (full mode only): end-to-end
+  elapsed time plus the aggregate attribution of every top-level
+  operation in the run.
+
+Everything is seeded and measured in virtual time, so a benchmark's
+samples are a pure function of the code — which is what makes the
+committed baseline comparable across machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..node import Machine
+from ..telemetry import critpath
+from ..vmmc import ReliableConfig, VMMCRuntime
+from .core import BenchRun, BenchSpec, register
+
+__all__ = ["PING_OPS"]
+
+#: Operations per ping benchmark per seed (first op excluded as warm-up).
+PING_OPS = 9
+
+
+def _micro(fn: Callable[[], float]) -> Callable[[int], BenchRun]:
+    """Wrap a repro.study.micro function (deterministic; seed-independent)."""
+
+    def runner(seed: int) -> BenchRun:
+        return BenchRun(samples=[fn()])
+
+    return runner
+
+
+def _payload(nbytes: int) -> bytes:
+    return (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+
+def _ping_machine(
+    seed: int, senders: int, drop_rate: float = 0.0
+) -> Machine:
+    fault_config = None
+    if drop_rate > 0.0:
+        from ..faults import FaultConfig
+
+        fault_config = FaultConfig(drop_rate=drop_rate)
+    return Machine(
+        num_nodes=senders + 1,
+        seed=seed,
+        telemetry=True,
+        fault_config=fault_config,
+    )
+
+
+def _ping(
+    seed: int,
+    nbytes: int,
+    ops: int = PING_OPS,
+    senders: int = 1,
+    drop_rate: float = 0.0,
+    reliable: bool = False,
+) -> BenchRun:
+    """``senders`` nodes each stream ``ops`` messages into node 0.
+
+    Returns one latency sample per ``vmmc.send`` span (warm-up op of each
+    sender dropped from the samples but kept in the attribution sums).
+    """
+    machine = _ping_machine(seed, senders, drop_rate)
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(0))
+    payload = _payload(nbytes)
+
+    def rx():
+        buffers = []
+        for s in range(senders):
+            buffer = yield from receiver.export(nbytes, name=f"bench.{s}")
+            buffers.append(buffer)
+        for buffer in buffers:
+            yield from receiver.wait_bytes(buffer, nbytes * ops)
+
+    def tx(s: int):
+        endpoint = vmmc.endpoint(machine.create_process(s + 1))
+        imported = yield from endpoint.import_buffer(f"bench.{s}")
+        src = endpoint.alloc(nbytes)
+        endpoint.poke(src, payload)
+        if reliable:
+            channel = endpoint.open_reliable(
+                imported, ReliableConfig(timeout_us=300.0)
+            )
+            for _ in range(ops):
+                yield from channel.send(src, nbytes)
+        else:
+            for _ in range(ops):
+                yield from endpoint.send(
+                    imported, src, nbytes, sync_delivered=True
+                )
+
+    machine.sim.spawn(rx(), "bench.rx")
+    for s in range(senders):
+        machine.sim.spawn(tx(s), f"bench.tx{s}")
+    machine.sim.run()
+
+    tel = machine.telemetry
+    agg = critpath.aggregate(tel, "vmmc.send", top=0)
+    roots = critpath.operation_roots(tel, "vmmc.send")
+    # Drop each sender's first (cold) operation from the latency samples.
+    by_node: Dict[int, list] = {}
+    for root in roots:
+        by_node.setdefault(root.node, []).append(root)
+    samples = []
+    for sends in by_node.values():
+        sends.sort(key=lambda span: span.start)
+        samples.extend(span.duration for span in sends[1:])
+    return BenchRun(
+        samples=samples or [span.duration for span in roots],
+        attribution=agg.components,
+        ops=agg.count,
+    )
+
+
+def _app(
+    name: str, mode: str, nprocs: int
+) -> Callable[[int], BenchRun]:
+    def runner(seed: int) -> BenchRun:
+        from ..apps.base import run_app
+        from ..study.suite import spec
+
+        app_spec = spec(name)
+        machine = Machine(
+            nprocs, params=app_spec.params, seed=seed, telemetry=True
+        )
+        result = run_app(app_spec.factory(mode), nprocs, machine=machine)
+        agg = critpath.aggregate(machine.telemetry, None, top=0)
+        return BenchRun(
+            samples=[result.elapsed_us],
+            attribution=agg.components,
+            ops=agg.count,
+        )
+
+    return runner
+
+
+def _register_micro() -> None:
+    from ..study import micro
+
+    register(
+        BenchSpec(
+            "du_word_latency", "us", False, _micro(micro.du_word_latency),
+            description="one-word deliberate-update end-to-end latency",
+        )
+    )
+    register(
+        BenchSpec(
+            "au_word_latency", "us", False, _micro(micro.au_word_latency),
+            description="one-word automatic-update end-to-end latency",
+        )
+    )
+    register(
+        BenchSpec(
+            "du_send_overhead", "us", False, _micro(micro.du_send_overhead),
+            description="send-side cost of an asynchronous deliberate update",
+        )
+    )
+    register(
+        BenchSpec(
+            "du_bulk_bandwidth", "MB/s", True,
+            _micro(micro.du_bulk_bandwidth),
+            description="64 KB deliberate-update bandwidth",
+        )
+    )
+    register(
+        BenchSpec(
+            "au_bulk_bandwidth", "MB/s", True,
+            _micro(micro.au_bulk_bandwidth),
+            description="64 KB combined automatic-update bandwidth",
+        )
+    )
+
+
+def _register_pings() -> None:
+    register(
+        BenchSpec(
+            "du_ping_word", "us", False,
+            lambda seed: _ping(seed, nbytes=4),
+            description="4 B deliberate-update send, initiation to delivery",
+        )
+    )
+    register(
+        BenchSpec(
+            "du_ping_4k", "us", False,
+            lambda seed: _ping(seed, nbytes=4096),
+            description="one-page deliberate-update send",
+        )
+    )
+    register(
+        BenchSpec(
+            "du_fanin_4k", "us", False,
+            lambda seed: _ping(seed, nbytes=4096, senders=3),
+            description="3-to-1 fan-in of one-page sends (contention)",
+        )
+    )
+    register(
+        BenchSpec(
+            "rel_ping_lossy", "us", False,
+            lambda seed: _ping(
+                seed, nbytes=4096, drop_rate=0.1, reliable=True
+            ),
+            description="reliable-channel send over a 10%-drop fabric",
+        )
+    )
+
+
+def _register_apps() -> None:
+    register(
+        BenchSpec(
+            "radix_vmmc_du", "us", False, _app("Radix-VMMC", "du", 4),
+            quick=False,
+            description="Radix-VMMC (du, P=4) elapsed time",
+        )
+    )
+    register(
+        BenchSpec(
+            "barnes_nx_du", "us", False, _app("Barnes-NX", "du", 4),
+            quick=False,
+            description="Barnes-NX (du, P=4) elapsed time",
+        )
+    )
+    register(
+        BenchSpec(
+            "radix_svm_au", "us", False, _app("Radix-SVM", "au", 4),
+            quick=False,
+            description="Radix-SVM (au, P=4) elapsed time",
+        )
+    )
+
+
+_register_micro()
+_register_pings()
+_register_apps()

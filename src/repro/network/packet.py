@@ -65,6 +65,11 @@ class Packet:
     #: off): each hop parents its span to this and overwrites it with its
     #: own, so the receive side links back to the transmit side.
     span: Optional[int] = None
+    #: Telemetry only: virtual time the packet was admitted into the
+    #: destination's incoming FIFO, so the receive span can report how long
+    #: it sat queued before the incoming engine picked it up (RX-FIFO
+    #: residency — an attribution input, never a simulation input).
+    admitted_at: Optional[float] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self):

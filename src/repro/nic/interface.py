@@ -232,6 +232,7 @@ class ShrimpNIC:
         self._rx_fill += packet.size
         tel = self.stats.telemetry
         if tel is not None:
+            packet.admitted_at = self.sim.now
             tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
                 self.sim.now, self._rx_fill
             )
@@ -251,6 +252,11 @@ class ShrimpNIC:
                     src=packet.src,
                     bytes=packet.size,
                     kind=packet.kind.value,
+                    queued_us=(
+                        self.sim.now - packet.admitted_at
+                        if packet.admitted_at is not None
+                        else 0.0
+                    ),
                 )
                 packet.span = span
             if self.fault_plan is not None:

@@ -76,9 +76,20 @@ class Kernel:
         """A real notification: system handler + user-level dispatch cost."""
         self.stats.count("kernel.notification_interrupts")
         self.stats.trace("kernel.irq", self.node_id, "notification interrupt")
-        self.cpu.steal(
-            self.params.interrupt_null_us + self.params.notification_dispatch_us
-        )
+        cost = self.params.interrupt_null_us + self.params.notification_dispatch_us
+        tel = self.stats.telemetry
+        if tel is not None:
+            # The steal is synchronous (it lands on the CPU's next busy
+            # interval), so record the cost as an instant attribute for the
+            # attribution layer rather than as a zero-width span.
+            tel.instant(
+                "kernel.notify",
+                self.node_id,
+                "kernel",
+                parent=packet.span,
+                cost_us=cost,
+            )
+        self.cpu.steal(cost)
         if self.on_notification is not None:
             self.on_notification(packet)
 

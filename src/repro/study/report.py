@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_bars"]
 
 
 def format_table(
@@ -53,6 +53,32 @@ def format_series(title: str, x_label: str, series: dict) -> str:
                 row.append(ys[i] if i < len(ys) else "")
             rows.append(row)
     return format_table(title, headers, rows)
+
+
+def format_bars(
+    title: str,
+    rows: Sequence[tuple],
+    unit: str = "",
+    width: int = 32,
+) -> str:
+    """Render ``(label, value)`` rows as a horizontal ASCII bar chart.
+
+    Bars are scaled to the largest value; each row shows the value and its
+    share of the total.  Used for critical-path attribution breakdowns.
+    """
+    rows = [(str(label), float(value)) for label, value in rows]
+    total = sum(value for _label, value in rows)
+    peak = max((value for _label, value in rows), default=0.0)
+    label_width = max((len(label) for label, _value in rows), default=0)
+    lines = [title, "=" * len(title)]
+    for label, value in rows:
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        share = f"{100.0 * value / total:5.1f}%" if total > 0 else "   - %"
+        lines.append(
+            f"{label.ljust(label_width)} | {value:10.3f}{unit and ' ' + unit} "
+            f"{share} |{bar}"
+        )
+    return "\n".join(lines)
 
 
 def _fmt(cell: object) -> str:

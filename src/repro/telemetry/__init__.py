@@ -25,6 +25,15 @@ Or from the command line::
 """
 
 from .collector import Span, Telemetry
+from .critpath import (
+    Attribution,
+    PathSegment,
+    aggregate,
+    attribute,
+    attribution_report,
+    critical_path,
+    operation_roots,
+)
 from .events import TelemetryEvent
 from .export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
 from .metrics import Gauge, Histogram, Timeline
@@ -44,4 +53,11 @@ __all__ = [
     "latency_breakdown",
     "utilization_report",
     "summarize",
+    "Attribution",
+    "PathSegment",
+    "critical_path",
+    "attribute",
+    "aggregate",
+    "operation_roots",
+    "attribution_report",
 ]

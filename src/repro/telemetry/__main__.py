@@ -80,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tree", action="store_true",
         help="print the span tree of the first library-level send",
     )
+    parser.add_argument(
+        "--attr", action="store_true",
+        help="print the critical-path attribution of the run's operations",
+    )
     return parser
 
 
@@ -167,6 +171,11 @@ def main(argv=None) -> int:
         print(f"wrote event stream: {args.jsonl}", file=sys.stderr)
 
     print(summarize(telemetry, label=label))
+    if args.attr:
+        from .critpath import attribution_report
+
+        print()
+        print(attribution_report(telemetry))
     if args.tree:
         sends = telemetry.spans("vmmc.send") or telemetry.spans()
         if sends:

@@ -17,12 +17,32 @@ expects.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Iterator, List, Optional
 
 from .collector import Telemetry
 from .events import PHASE_BEGIN, PHASE_INSTANT
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "to_jsonl", "write_jsonl"]
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "ensure_parent_dir",
+]
+
+
+def ensure_parent_dir(path: str) -> str:
+    """Create the parent directories of ``path``; returns ``path``.
+
+    Lets ``--out traces/run.json`` work without a pre-existing ``traces/``
+    directory; every writer in this package (and ``repro.bench``) funnels
+    through it.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
 
 #: pid used for machine-wide events recorded with node == -1.
 SIM_PID = 1_000_000
@@ -220,7 +240,7 @@ def write_chrome_trace(
     telemetry: Telemetry, path: str, label: str = "repro.shrimp"
 ) -> str:
     """Write the Chrome trace JSON to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as fh:
+    with open(ensure_parent_dir(path), "w", encoding="utf-8") as fh:
         json.dump(to_chrome_trace(telemetry, label), fh)
     return path
 
@@ -252,7 +272,7 @@ def to_jsonl(telemetry: Telemetry) -> Iterator[str]:
 
 
 def write_jsonl(telemetry: Telemetry, path: str) -> str:
-    with open(path, "w", encoding="utf-8") as fh:
+    with open(ensure_parent_dir(path), "w", encoding="utf-8") as fh:
         for line in to_jsonl(telemetry):
             fh.write(line + "\n")
     return path

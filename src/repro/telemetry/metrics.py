@@ -48,11 +48,15 @@ class Histogram:
         return max(self._samples) if self._samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; ``p`` in [0, 100]."""
-        if not self._samples:
-            return 0.0
+        """Nearest-rank percentile; ``p`` in [0, 100].
+
+        Validates ``p`` before the empty-histogram early return, so an
+        out-of-range request fails loudly even on an empty histogram.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
         if not self._sorted:
             self._samples.sort()
             self._sorted = True

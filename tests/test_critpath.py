@@ -1,0 +1,229 @@
+"""Tests for critical-path extraction and attribution (telemetry.critpath)."""
+
+import pytest
+
+from repro import DEFAULT_PARAMS, Machine
+from repro.faults import FaultConfig
+from repro.telemetry import critpath
+from repro.vmmc import ReliableConfig, VMMCRuntime
+
+TOL = 1e-6
+
+
+def _du_ping(machine, nbytes, reliable=False, rel_config=None, **send_kwargs):
+    vmmc = VMMCRuntime(machine)
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+    payload = (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+    def rx():
+        buffer = yield from receiver.export(nbytes, name="ping")
+        yield from receiver.wait_bytes(buffer, nbytes)
+
+    def tx():
+        imported = yield from sender.import_buffer("ping")
+        src = sender.alloc(nbytes)
+        sender.poke(src, payload)
+        if reliable:
+            channel = sender.open_reliable(imported, rel_config)
+            yield from channel.send(src, nbytes)
+        else:
+            yield from sender.send(
+                imported, src, nbytes, sync_delivered=True, **send_kwargs
+            )
+
+    machine.sim.spawn(rx(), "rx")
+    machine.sim.spawn(tx(), "tx")
+    machine.sim.run()
+    return machine.telemetry
+
+
+def _check_invariants(tel, root):
+    """The structural properties every attribution must satisfy."""
+    segments = critpath.critical_path(tel, root.span_id)
+    # Segments tile [root.start, root.end]: ordered, abutting, in-window.
+    assert segments[0].start == pytest.approx(root.start, abs=TOL)
+    assert segments[-1].end == pytest.approx(root.end, abs=TOL)
+    for before, after in zip(segments, segments[1:]):
+        assert before.end == pytest.approx(after.start, abs=TOL)
+    for segment in segments:
+        assert segment.end >= segment.start
+        assert segment.start >= root.start - TOL
+        assert segment.end <= root.end + TOL
+    # (1) critical-path duration never exceeds the root's duration.
+    path_duration = sum(segment.duration for segment in segments)
+    assert path_duration <= root.duration + TOL
+    # (2) attribution components sum exactly to the root duration.
+    attribution = critpath.attribute(tel, root.span_id)
+    assert set(attribution.components) == set(critpath.COMPONENTS)
+    assert attribution.total == pytest.approx(root.duration, abs=TOL)
+    assert all(value >= 0.0 for value in attribution.components.values())
+    return attribution
+
+
+# -- invariants over varied workloads -------------------------------------
+
+
+@pytest.mark.parametrize("nbytes", [4, 256, 4096, 16 * 1024])
+def test_invariants_du_ping_sizes(nbytes):
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), nbytes)
+    for root in critpath.operation_roots(tel, "vmmc.send"):
+        _check_invariants(tel, root)
+
+
+def test_invariants_lossy_reliable_ping():
+    tel = _du_ping(
+        Machine(
+            num_nodes=2,
+            telemetry=True,
+            fault_config=FaultConfig(drop_rate=0.3),
+        ),
+        16 * 1024,
+        reliable=True,
+        rel_config=ReliableConfig(timeout_us=300.0),
+    )
+    (root,) = critpath.operation_roots(tel, "vmmc.send")
+    attribution = _check_invariants(tel, root)
+    # Retransmission timeouts are dead time between re-issued transfers:
+    # the path must contain a contention/stall component.
+    assert attribution.components["stall"] > 0.0
+
+
+def test_invariants_app_run():
+    from repro.apps.base import run_app
+    from repro.study.suite import spec
+
+    machine = Machine(2, telemetry=True)
+    run_app(spec("Radix-VMMC").factory("du"), 2, machine=machine)
+    tel = machine.telemetry
+    roots = critpath.operation_roots(tel)
+    assert roots
+    for root in roots:
+        _check_invariants(tel, root)
+
+
+# -- hand-computed hardware cost model ------------------------------------
+
+
+def test_zero_contention_ping_matches_hardware_cost_model():
+    """A single sub-page DU transfer decomposes into the per-stage costs
+    of the hardware model, exactly (DESIGN.md section 10)."""
+    nbytes = 256
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), nbytes)
+    (root,) = critpath.operation_roots(tel, "vmmc.send")
+    attribution = critpath.attribute(tel, root.span_id)
+    p = DEFAULT_PARAMS
+    # CPU: the two-instruction user-level initiation sequence.
+    assert attribution.components["cpu"] == pytest.approx(
+        p.udma_init_us, abs=TOL
+    )
+    # NIC DMA: engine start + one EISA bus read + packetize.
+    assert attribution.components["nic_dma"] == pytest.approx(
+        p.dma_start_us
+        + p.bus_transaction_us
+        + nbytes / p.eisa_bandwidth
+        + p.packetize_us,
+        abs=TOL,
+    )
+    # Link: one hop fall-through + wire serialization of payload + header.
+    assert attribution.components["link"] == pytest.approx(
+        p.router_hop_us + (nbytes + p.packet_header_bytes) / p.link_bandwidth,
+        abs=TOL,
+    )
+    # Uncontended: no stall, nothing beyond the known stages.
+    assert attribution.components["stall"] == pytest.approx(0.0, abs=TOL)
+    assert attribution.components["other"] == pytest.approx(0.0, abs=TOL)
+    assert attribution.total == pytest.approx(root.duration, abs=TOL)
+
+
+def test_multi_page_send_alternates_dma_and_link():
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), 8192)
+    (root,) = critpath.operation_roots(tel, "vmmc.send")
+    segments = critpath.critical_path(tel, root.span_id)
+    names = [s.name for s in segments]
+    assert names == [
+        "vmmc.send", "nic.du", "net.transmit", "nic.du", "net.transmit"
+    ]
+
+
+# -- queries, aggregation, rendering --------------------------------------
+
+
+def test_attribute_rejects_unknown_span():
+    machine = Machine(num_nodes=2, telemetry=True)
+    with pytest.raises(ValueError):
+        critpath.attribute(machine.telemetry, 424242)
+
+
+def test_operation_roots_filters_by_prefix():
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), 4096)
+    all_roots = critpath.operation_roots(tel)
+    send_roots = critpath.operation_roots(tel, "vmmc.send")
+    assert len(send_roots) == 1
+    assert {s.span_id for s in send_roots} <= {s.span_id for s in all_roots}
+    # Child spans never appear as roots.
+    assert not any(span.name == "nic.du" for span in all_roots)
+
+
+def test_aggregate_sums_components_across_operations():
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), 4096)
+    agg = critpath.aggregate(tel, "vmmc.send", top=5)
+    assert agg.count == 1
+    (root,) = critpath.operation_roots(tel, "vmmc.send")
+    assert agg.total_us == pytest.approx(root.duration, abs=TOL)
+    assert sum(agg.components.values()) == pytest.approx(
+        agg.total_us, abs=TOL
+    )
+    assert len(agg.slowest) == 1
+    assert sum(agg.fraction(c) for c in critpath.COMPONENTS) == pytest.approx(
+        1.0, abs=TOL
+    )
+
+
+def test_attribution_report_renders():
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), 4096)
+    text = critpath.attribution_report(tel, "vmmc.send")
+    assert "Critical-path attribution" in text
+    assert "nic_dma" in text
+    assert "vmmc.send" in text
+    empty = critpath.attribution_report(tel, "no.such.op")
+    assert "no operations" in empty
+
+
+def test_rx_span_reports_queue_residency():
+    tel = _du_ping(Machine(num_nodes=2, telemetry=True), 4096)
+    rx_spans = tel.spans("nic.rx")
+    assert rx_spans
+    for span in rx_spans:
+        assert span.args["queued_us"] >= 0.0
+
+
+def test_notification_cost_recorded_as_instant():
+    machine = Machine(num_nodes=2, telemetry=True)
+    vmmc = VMMCRuntime(machine)
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+
+    def rx():
+        buffer = yield from receiver.export(
+            4096, name="n", enable_notifications=True
+        )
+        yield from receiver.wait_bytes(buffer, 64)
+
+    def tx():
+        imported = yield from sender.import_buffer("n")
+        src = sender.alloc(4096)
+        sender.poke(src, bytes(64))
+        yield from sender.send(
+            imported, src, 64, interrupt=True, sync_delivered=True
+        )
+
+    machine.sim.spawn(rx(), "rx")
+    machine.sim.spawn(tx(), "tx")
+    machine.sim.run()
+    notifies = machine.telemetry.instants("kernel.notify")
+    assert notifies
+    p = DEFAULT_PARAMS
+    assert notifies[0].args["cost_us"] == pytest.approx(
+        p.interrupt_null_us + p.notification_dispatch_us
+    )

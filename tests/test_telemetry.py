@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro import Machine
 from repro.faults import FaultConfig
 from repro.telemetry import (
@@ -184,6 +186,18 @@ def test_jsonl_export_one_document_per_line():
         assert "ph" in doc and "name" in doc
 
 
+def test_exporters_create_parent_directories(tmp_path):
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    trace_path = tmp_path / "not" / "yet" / "there" / "ping.trace.json"
+    write_chrome_trace(machine.telemetry, str(trace_path))
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    jsonl_path = tmp_path / "also" / "missing" / "ping.jsonl"
+    write_jsonl(machine.telemetry, str(jsonl_path))
+    assert jsonl_path.read_text().count("\n") >= 1
+
+
 def test_reports_render():
     machine = _du_ping(Machine(num_nodes=2, telemetry=True))
     text = summarize(machine.telemetry, label="test")
@@ -204,6 +218,15 @@ def test_cli_smoke(tmp_path, capsys):
     assert "vmmc.send" in captured.out
 
 
+def test_cli_out_creates_parent_dirs_and_attr_report(tmp_path, capsys):
+    from repro.telemetry.__main__ import main
+
+    out = tmp_path / "new" / "dirs" / "ping.trace.json"
+    assert main(["du-ping", "--out", str(out), "--attr"]) == 0
+    assert json.loads(out.read_text())["traceEvents"]
+    assert "Critical-path attribution" in capsys.readouterr().out
+
+
 # -- metrics --------------------------------------------------------------
 
 
@@ -217,6 +240,20 @@ def test_histogram_percentiles():
     assert hist.p99 == 99.0
     assert hist.min == 1.0 and hist.max == 100.0
     assert hist.mean == 50.5
+
+
+def test_histogram_percentile_validates_p_even_when_empty():
+    hist = Histogram("h")
+    # The bounds check must fire before the empty-histogram early return.
+    with pytest.raises(ValueError):
+        hist.percentile(999)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+    assert hist.percentile(50) == 0.0
+    hist.add(7.0)
+    with pytest.raises(ValueError):
+        hist.percentile(100.5)
+    assert hist.percentile(100) == 7.0
 
 
 def test_timeline_busy_fraction_and_integral():
