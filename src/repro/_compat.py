@@ -1,0 +1,22 @@
+"""Version-compatibility shims.
+
+The project supports Python 3.9+, but some optimizations only exist on
+newer interpreters.  Hot-path dataclasses (packets, DMA transfer
+requests) want ``__slots__`` for smaller instances and faster attribute
+access; ``dataclass(slots=True)`` arrived in 3.10, and the manual
+``__slots__`` spelling conflicts with defaulted dataclass fields, so on
+3.9 the classes simply stay dict-backed — identical semantics, slower.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from functools import partial
+
+__all__ = ["slotted_dataclass"]
+
+if sys.version_info >= (3, 10):
+    slotted_dataclass = partial(dataclass, slots=True)
+else:  # pragma: no cover - exercised only on 3.9
+    slotted_dataclass = dataclass

@@ -1,0 +1,444 @@
+"""Wall-clock throughput mode: ``python -m repro.bench perf``.
+
+Everything in :mod:`repro.bench.core` is measured in **virtual time** and is
+a pure function of the code, which is what lets ``BENCH_*.json`` documents be
+committed and compared byte-for-byte.  This module is the deliberate
+opposite: it measures how fast the simulator core itself executes on the
+host — events per wall-clock second through the scheduler, packets per
+second through the backplane — so results are host-dependent by design.
+
+To keep the two regimes from ever being confused, perf results go to a
+separate ``PERF_<label>.json`` document (``"kind": "perf"``, its own schema)
+that records the host fingerprint and is **never** fed to the virtual-time
+regression gate in :mod:`repro.bench.compare`.
+
+The suite has two families:
+
+* **engine** — microbenchmarks that hammer one scheduler path in isolation:
+  the immediate resume path (event ring), the time-ordered heap path
+  (timeout wheel), queue handoff and resource contention;
+* **system** — end-to-end VMMC message streams (the DU ping and the 15-to-1
+  fan-in) run without telemetry, exercising the NIC, backplane and
+  notification fast paths together.
+
+Each benchmark runs ``repeats`` times and reports the best run (standard
+microbenchmark practice: the minimum-noise sample), both events/sec and,
+for the system family, packets/sec.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim import Queue, Resource, Signal, Simulator, Timeout
+
+__all__ = [
+    "PERF_SCHEMA_VERSION",
+    "PerfResult",
+    "PerfSpec",
+    "PERF_REGISTRY",
+    "select_perf",
+    "run_perf",
+    "write_perf",
+    "load_perf",
+    "render_perf",
+    "render_perf_comparison",
+]
+
+PERF_SCHEMA_VERSION = 1
+
+
+@dataclass
+class PerfResult:
+    """One timed invocation of a perf workload."""
+
+    #: Wall-clock seconds spent inside ``sim.run()``.
+    elapsed_s: float
+    #: Scheduler dispatches executed during the run.
+    events: int
+    #: Packets delivered by the backplane (system family only).
+    packets: int = 0
+    #: Logical operations the workload performed (sends, hops, items...).
+    ops: int = 0
+    #: Virtual time at the end of the run (sanity cross-check).
+    sim_time_us: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def packets_per_sec(self) -> float:
+        return self.packets / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PerfSpec:
+    """One wall-clock benchmark: a runner mapping a scale to a result."""
+
+    name: str
+    runner: Callable[[int], PerfResult]
+    #: Operation count for a full run.
+    scale: int
+    #: Operation count under ``--quick`` (CI-sized).
+    quick_scale: int
+    family: str = "engine"
+    description: str = ""
+
+
+#: name -> spec, in registration order.
+PERF_REGISTRY: Dict[str, PerfSpec] = {}
+
+
+def _register(spec: PerfSpec) -> PerfSpec:
+    if spec.name in PERF_REGISTRY:
+        raise ValueError(f"duplicate perf benchmark {spec.name!r}")
+    PERF_REGISTRY[spec.name] = spec
+    return spec
+
+
+def select_perf(
+    names: Optional[Sequence[str]] = None, quick: bool = False
+) -> List[PerfSpec]:
+    if names:
+        unknown = [n for n in names if n not in PERF_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown perf benchmarks {unknown}; "
+                f"choose from {sorted(PERF_REGISTRY)}"
+            )
+        return [PERF_REGISTRY[n] for n in names]
+    return list(PERF_REGISTRY.values())
+
+
+def _timed_run(sim: Simulator, ops: int, packets_of=None) -> PerfResult:
+    """Time ``sim.run()`` and collect the scheduler's dispatch count."""
+    start_events = getattr(sim, "events_processed", 0)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return PerfResult(
+        elapsed_s=elapsed,
+        events=getattr(sim, "events_processed", 0) - start_events,
+        packets=packets_of() if packets_of is not None else 0,
+        ops=ops,
+        sim_time_us=sim.now,
+    )
+
+
+# -- engine family -------------------------------------------------------
+
+
+def _engine_ring(scale: int) -> PerfResult:
+    """A token circulating a 64-process signal ring: pure resume traffic.
+
+    Every hop is one ``Signal.fire`` plus one immediate resume — the path
+    that the immediate queue accelerates.
+    """
+    sim = Simulator()
+    nprocs = 64
+    signals = [Signal(sim, f"ring{i}") for i in range(nprocs)]
+
+    def station(i: int):
+        while True:
+            count = yield from signals[i].wait()
+            if count >= scale:
+                return
+            signals[(i + 1) % nprocs].fire(count + 1)
+
+    for i in range(nprocs):
+        sim.spawn(station(i), f"station{i}")
+
+    def starter():
+        yield Timeout(0.0)
+        signals[0].fire(0)
+
+    sim.spawn(starter(), "starter")
+    return _timed_run(sim, ops=scale)
+
+
+def _engine_timeouts(scale: int) -> PerfResult:
+    """512 processes sleeping on staggered delays: pure heap traffic."""
+    sim = Simulator()
+    nprocs = 512
+    per = max(1, scale // nprocs)
+
+    def sleeper(i: int):
+        delay = 0.5 + (i % 13) * 0.37
+        for _ in range(per):
+            yield Timeout(delay)
+
+    for i in range(nprocs):
+        sim.spawn(sleeper(i), f"sleeper{i}")
+    return _timed_run(sim, ops=nprocs * per)
+
+
+def _queue_handoff(scale: int) -> PerfResult:
+    """Producer/consumer pairs over :class:`Queue`.
+
+    The producer runs in bursts so the consumer alternates between the
+    item-ready fast path and the blocking path.
+    """
+    sim = Simulator()
+    npairs = 8
+    per = max(1, scale // npairs)
+
+    def producer(q: Queue):
+        for i in range(per):
+            q.put(i)
+            if i % 8 == 0:
+                yield Timeout(1.0)
+
+    def consumer(q: Queue):
+        for _ in range(per):
+            yield from q.get()
+
+    for p in range(npairs):
+        q = Queue(sim, f"q{p}")
+        sim.spawn(consumer(q), f"consumer{p}")
+        sim.spawn(producer(q), f"producer{p}")
+    return _timed_run(sim, ops=npairs * per)
+
+
+def _resource_contention(scale: int) -> PerfResult:
+    """Uncontended and contended acquire/release on counted resources."""
+    sim = Simulator()
+    per = max(1, scale // 33)
+    solo = Resource(sim, capacity=1, name="solo")
+    shared = Resource(sim, capacity=2, name="shared")
+
+    def fast_path():
+        # Alone on its resource: every acquire takes the no-wait path.
+        for _ in range(per):
+            yield from solo.acquire()
+            solo.release()
+            yield Timeout(0.25)
+
+    def contender(i: int):
+        for _ in range(per):
+            yield from shared.acquire()
+            try:
+                yield Timeout(0.5)
+            finally:
+                shared.release()
+
+    sim.spawn(fast_path(), "fast")
+    for i in range(32):
+        sim.spawn(contender(i), f"contender{i}")
+    return _timed_run(sim, ops=33 * per)
+
+
+# -- system family -------------------------------------------------------
+
+
+def _stream(senders: int, nbytes: int, ops: int) -> PerfResult:
+    """``senders`` nodes each stream ``ops`` sends into node 0, no telemetry."""
+    from ..node import Machine
+    from ..vmmc import VMMCRuntime
+
+    machine = Machine(num_nodes=senders + 1, seed=1998)
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(0))
+    payload = (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+    def rx():
+        buffers = []
+        for s in range(senders):
+            buffer = yield from receiver.export(nbytes, name=f"perf.{s}")
+            buffers.append(buffer)
+        for buffer in buffers:
+            yield from receiver.wait_bytes(buffer, nbytes * ops)
+
+    def tx(s: int):
+        endpoint = vmmc.endpoint(machine.create_process(s + 1))
+        imported = yield from endpoint.import_buffer(f"perf.{s}")
+        src = endpoint.alloc(nbytes)
+        endpoint.poke(src, payload)
+        for _ in range(ops):
+            yield from endpoint.send(imported, src, nbytes, sync_delivered=True)
+
+    machine.sim.spawn(rx(), "perf.rx")
+    for s in range(senders):
+        machine.sim.spawn(tx(s), f"perf.tx{s}")
+    return _timed_run(
+        machine.sim,
+        ops=senders * ops,
+        packets_of=lambda: machine.backplane.packets_delivered,
+    )
+
+
+def _du_ping(scale: int) -> PerfResult:
+    return _stream(senders=1, nbytes=4096, ops=scale)
+
+
+def _fanin_15(scale: int) -> PerfResult:
+    return _stream(senders=15, nbytes=4096, ops=max(1, scale // 15))
+
+
+_register(
+    PerfSpec(
+        "engine_ring", _engine_ring, scale=200_000, quick_scale=30_000,
+        description="64-process signal ring (immediate resume path)",
+    )
+)
+_register(
+    PerfSpec(
+        "engine_timeouts", _engine_timeouts, scale=200_000, quick_scale=40_000,
+        description="512 staggered sleepers (heap path)",
+    )
+)
+_register(
+    PerfSpec(
+        "queue_handoff", _queue_handoff, scale=160_000, quick_scale=32_000,
+        description="producer/consumer bursts over Queue",
+    )
+)
+_register(
+    PerfSpec(
+        "resource_contention", _resource_contention,
+        scale=100_000, quick_scale=20_000,
+        description="uncontended + 32-way contended Resource acquire",
+    )
+)
+_register(
+    PerfSpec(
+        "du_ping", _du_ping, scale=2000, quick_scale=200, family="system",
+        description="one-page DU sends, 1 sender (end-to-end core path)",
+    )
+)
+_register(
+    PerfSpec(
+        "fanin_15", _fanin_15, scale=3000, quick_scale=300, family="system",
+        description="one-page DU sends, 15-to-1 fan-in (contention)",
+    )
+)
+
+
+# -- harness -------------------------------------------------------------
+
+
+def run_perf(
+    label: str,
+    quick: bool = False,
+    repeats: int = 3,
+    names: Optional[Sequence[str]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the perf suite and build the ``PERF_*`` document."""
+    from .. import __version__
+
+    specs = select_perf(names, quick=quick)
+    benchmarks: Dict[str, Dict] = {}
+    for spec in specs:
+        scale = spec.quick_scale if quick else spec.scale
+        best: Optional[PerfResult] = None
+        for _ in range(max(1, repeats)):
+            result = spec.runner(scale)
+            if best is None or result.events_per_sec > best.events_per_sec:
+                best = result
+        entry: Dict = {
+            "family": spec.family,
+            "ops": best.ops,
+            "events": best.events,
+            "elapsed_s": best.elapsed_s,
+            "events_per_sec": best.events_per_sec,
+            "sim_time_us": best.sim_time_us,
+        }
+        if spec.family == "system":
+            entry["packets"] = best.packets
+            entry["packets_per_sec"] = best.packets_per_sec
+        benchmarks[spec.name] = entry
+        if log is not None:
+            log(
+                f"{spec.name}: {best.events_per_sec:,.0f} events/s "
+                f"({best.events} events in {best.elapsed_s:.3f}s)"
+            )
+    return {
+        "schema": PERF_SCHEMA_VERSION,
+        "kind": "perf",
+        "label": label,
+        "quick": quick,
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "meta": {"version": __version__},
+        "benchmarks": benchmarks,
+    }
+
+
+def write_perf(doc: Dict, path: str) -> str:
+    from ..telemetry.export import ensure_parent_dir
+
+    with open(ensure_parent_dir(path), "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_perf(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != "perf" or doc.get("schema") != PERF_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: not a perf document (kind={doc.get('kind')!r}, "
+            f"schema={doc.get('schema')!r})"
+        )
+    return doc
+
+
+def render_perf(doc: Dict) -> str:
+    """ASCII table of one perf document's throughput numbers."""
+    from ..study.report import format_table
+
+    rows = []
+    for name, entry in doc["benchmarks"].items():
+        rows.append(
+            [
+                name,
+                entry["family"],
+                entry["events"],
+                f"{entry['elapsed_s']:.3f}",
+                f"{entry['events_per_sec']:,.0f}",
+                f"{entry.get('packets_per_sec', 0.0):,.0f}"
+                if entry["family"] == "system" else "-",
+            ]
+        )
+    return format_table(
+        f"Perf (wall-clock): {doc['label']} "
+        f"[{doc['host']['implementation']} {doc['host']['python']}]",
+        ["benchmark", "family", "events", "seconds", "events/s", "packets/s"],
+        rows,
+    )
+
+
+def render_perf_comparison(new: Dict, baseline: Dict) -> str:
+    """Before/after table: events/sec speedup of ``new`` over ``baseline``."""
+    from ..study.report import format_table
+
+    rows = []
+    for name, entry in new["benchmarks"].items():
+        base = baseline["benchmarks"].get(name)
+        if base is None:
+            continue
+        old_eps = base["events_per_sec"]
+        new_eps = entry["events_per_sec"]
+        rows.append(
+            [
+                name,
+                f"{old_eps:,.0f}",
+                f"{new_eps:,.0f}",
+                f"{new_eps / old_eps:.2f}x" if old_eps > 0 else "-",
+            ]
+        )
+    return format_table(
+        f"Perf speedup: {new['label']} vs {baseline['label']}",
+        ["benchmark", "base events/s", "new events/s", "speedup"],
+        rows,
+    )

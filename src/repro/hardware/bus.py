@@ -68,17 +68,22 @@ class MemoryBus:
 
         Blocks while another master (CPU store stream or NIC DMA) holds it.
         """
-        yield from self._resource.acquire()
+        resource = self._resource
+        if not resource.try_acquire():
+            yield from resource._acquire_wait()
         try:
-            from ..sim import Timeout
-
-            yield Timeout(
-                self.transfer_time(nbytes, bandwidth, transactions, transaction_us)
+            params = self.params
+            rate = params.memory_bus_bandwidth
+            if bandwidth and bandwidth < rate:
+                rate = bandwidth
+            yield (
+                transactions * (transaction_us or params.bus_transaction_us)
+                + nbytes / rate
             )
             self.bytes_transferred += nbytes
             self.transactions += transactions
         finally:
-            self._resource.release()
+            resource.release()
 
     def utilization(self, elapsed: float) -> float:
         return self._resource.utilization(elapsed)

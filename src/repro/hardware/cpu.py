@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..sim import Simulator, StatsRegistry, Timeout
+from ..sim import Simulator, StatsRegistry
 from .params import MachineParams
 
 __all__ = ["CPU"]
@@ -47,7 +47,7 @@ class CPU:
 
     def busy(self, duration: float, category: str = "computation") -> Generator:
         """Charge a fixed-duration CPU activity."""
-        stolen = self.drain_steal()
+        stolen, self._pending_steal = self._pending_steal, 0.0
         if duration + stolen > 0:
             tel = self.stats.telemetry
             if tel is not None:
@@ -59,13 +59,16 @@ class CPU:
                     self.sim.now, self._busy_depth
                 )
             try:
-                yield Timeout(duration + stolen)
+                yield duration + stolen
             finally:
                 if tel is not None:
                     self._busy_depth -= 1
                     tel.timeline(f"cpu.n{self.node_id}", node=self.node_id).record(
                         self.sim.now, self._busy_depth
                     )
+        # Looked up per call on purpose: apps/base.py clears the registry's
+        # breakdowns to scope the measured section, replacing the objects —
+        # a cached handle would silently charge an orphan.
         breakdown = self.stats.breakdown(self.node_id)
         breakdown.charge(category, duration)
         if stolen:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Generator, Optional
 
 from ..sim import Queue
 from ..vmmc import VMMCEndpoint, VMMCRuntime
+from ..sim.ids import RunScopedCounter
 from .channel import RingReceiver, RingSender
 
 __all__ = ["RPCServer", "RPCClient", "RPCError"]
@@ -40,7 +41,7 @@ _STATUS_OK = 0
 _STATUS_NO_SUCH_PROC = 1
 _STATUS_HANDLER_ERROR = 2
 
-_client_ids = itertools.count(1)
+_client_ids = RunScopedCounter(1)
 
 
 class RPCError(RuntimeError):

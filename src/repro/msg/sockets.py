@@ -14,12 +14,12 @@ sides stand up their rings; all data then flows through VMMC proper.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..sim import Queue
 from ..vmmc import VMMCEndpoint, VMMCRuntime
+from ..sim.ids import RunScopedCounter
 from .channel import RingReceiver, RingSender
 
 __all__ = ["SocketAPI", "Listener", "Connection"]
@@ -27,7 +27,7 @@ __all__ = ["SocketAPI", "Listener", "Connection"]
 _RT_DATA = 1
 _RT_FIN = 2
 
-_conn_ids = itertools.count(1)
+_conn_ids = RunScopedCounter(1)
 
 
 @dataclass

@@ -22,9 +22,10 @@ the real backplane's ordering guarantee for a single sender.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Resource, Simulator, StatsRegistry, Timeout
+from ..faults import Fate
 from ..hardware import MachineParams
 from .packet import Packet
 from .topology import LinkId, MeshTopology
@@ -55,12 +56,42 @@ class Backplane:
             node: Resource(sim, capacity=1, name=f"eject{node}")
             for node in range(self.topology.num_nodes)
         }
-        self._receivers: Dict[int, Callable[[Packet], None]] = {}
+        self._receivers: List[Optional[Callable]] = [None] * self.topology.num_nodes
+        self._link_bandwidth = params.link_bandwidth
         self.packets_delivered = 0
         self.bytes_delivered = 0
         #: Installed by Machine.install_fault_plan; None means a perfect
         #: fabric and zero overhead (one predicate check per packet).
         self.fault_plan = None
+        # Hot-path handle caches.  Routes are fully precomputed at
+        # construction: one dict lookup per packet yields the link-id path
+        # *and* the Resource objects to hold, replacing per-hop dict
+        # lookups and per-packet XY recomputation.  (<= num_nodes**2
+        # entries — 256 on the 16-node mesh.)
+        self._routes: Dict[
+            Tuple[int, int],
+            Tuple[List[LinkId], Tuple[Resource, ...], Resource, float],
+        ] = {}
+        for src in range(self.topology.num_nodes):
+            for dst in range(self.topology.num_nodes):
+                if src == dst:
+                    continue
+                path = self.topology.xy_route(src, dst)
+                self._routes[(src, dst)] = (
+                    path,
+                    tuple(self._links[link_id] for link_id in path),
+                    self._ejection[dst],
+                    len(path) * self.params.router_hop_us,
+                )
+        # Stat counters are bound lazily on first use (binding them here
+        # would make them appear, zero-valued, in snapshots of runs that
+        # never touch the network) and cached for every later packet.
+        self._net_packets = None
+        self._net_bytes = None
+        # Per-link telemetry Timeline handles, keyed by the collector that
+        # produced them so a newly installed collector invalidates the lot.
+        self._link_timelines: Dict[LinkId, object] = {}
+        self._timelines_owner = None
 
     @property
     def num_nodes(self) -> int:
@@ -73,6 +104,19 @@ class Backplane:
 
     def link(self, link_id: LinkId) -> Resource:
         return self._links[link_id]
+
+    def _link_timeline(self, tel, link_id: LinkId):
+        """The cached utilization Timeline for one link."""
+        if tel is not self._timelines_owner:
+            self._link_timelines.clear()
+            self._timelines_owner = tel
+        timeline = self._link_timelines.get(link_id)
+        if timeline is None:
+            timeline = tel.timeline(
+                f"link.{link_id[0]}-{link_id[1]}", node=link_id[0]
+            )
+            self._link_timelines[link_id] = timeline
+        return timeline
 
     # -- transmission ---------------------------------------------------
 
@@ -101,47 +145,65 @@ class Backplane:
         if packet.dst == packet.src:
             # Loopback never touches the backplane; charge a nominal
             # NIC-internal turnaround.
-            yield Timeout(self.params.router_hop_us)
+            yield self.params.router_hop_us
             yield from self._deliver(packet)
             if tel is not None:
                 tel.end(span, hops=0)
             return
 
-        path = self.topology.xy_route(packet.src, packet.dst)
+        path, links, ejection, base_latency = self._routes[(packet.src, packet.dst)]
+        if tel is None:
+            # Hot path: no per-link timeline bookkeeping when telemetry is
+            # off — acquisition order and timing are identical either way,
+            # and the held set is tracked by count instead of a list.
+            acquired = 0
+            ejection_held = False
+            try:
+                for link in links:
+                    if not link.try_acquire():
+                        yield from link._acquire_wait()
+                    acquired += 1
+                if not ejection.try_acquire():
+                    yield from ejection._acquire_wait()
+                ejection_held = True
+                yield base_latency + packet.size / self._link_bandwidth
+                if self.fault_plan is not None and self._faulted(packet, path):
+                    return  # the worm vanished; held links release below
+                yield from self._deliver(packet)
+            finally:
+                if ejection_held:
+                    for link in links:
+                        link.release()
+                    ejection.release()
+                else:
+                    for index in range(acquired):
+                        links[index].release()
+            return
+
         held: List[Resource] = []
         held_links: List[LinkId] = []
         try:
-            for link_id in path:
-                link = self._links[link_id]
+            for index, link in enumerate(links):
                 yield from link.acquire()
                 held.append(link)
+                link_id = path[index]
                 held_links.append(link_id)
-                if tel is not None:
-                    tel.timeline(
-                        f"link.{link_id[0]}-{link_id[1]}", node=link_id[0]
-                    ).record(self.sim.now, 1)
-            ejection = self._ejection[packet.dst]
+                self._link_timeline(tel, link_id).record(self.sim.now, 1)
             yield from ejection.acquire()
             held.append(ejection)
 
-            latency = (
-                len(path) * self.params.router_hop_us
-                + packet.size / self.params.link_bandwidth
-            )
-            yield Timeout(latency)
+            latency = base_latency + packet.size / self._link_bandwidth
+            yield latency
             if self.fault_plan is not None and self._faulted(packet, path):
                 return  # the worm vanished; held links release below
             yield from self._deliver(packet)
         finally:
             for link in held:
                 link.release()
-            if tel is not None:
-                now = self.sim.now
-                for link_id in held_links:
-                    tel.timeline(
-                        f"link.{link_id[0]}-{link_id[1]}", node=link_id[0]
-                    ).record(now, 0)
-                tel.end(span, hops=len(path))
+            now = self.sim.now
+            for link_id in held_links:
+                self._link_timeline(tel, link_id).record(now, 0)
+            tel.end(span, hops=len(path))
 
     def _faulted(self, packet: Packet, path) -> bool:
         """Apply the installed fault plan to one transiting packet.
@@ -151,8 +213,6 @@ class Backplane:
         with ``corrupted`` set; the receiving NIC discards it after paying
         the receive-side costs, as a real CRC check would.
         """
-        from ..faults import Fate
-
         plan = self.fault_plan
         now = self.sim.now
         if plan.crashed(packet.dst, now):
@@ -188,11 +248,16 @@ class Backplane:
         incoming FIFO is full, which (because the caller still holds the
         worm's path) is what propagates backpressure into the mesh.
         """
-        handler = self._receivers.get(packet.dst)
+        handler = self._receivers[packet.dst]
         if handler is None:
             raise RuntimeError(f"no receiver attached at node {packet.dst}")
         yield from handler(packet)
+        size = packet.size
         self.packets_delivered += 1
-        self.bytes_delivered += packet.size
-        self.stats.count("net.packets")
-        self.stats.count("net.bytes", packet.size)
+        self.bytes_delivered += size
+        packets_counter = self._net_packets
+        if packets_counter is None:
+            packets_counter = self._net_packets = self.stats.counter("net.packets")
+            self._net_bytes = self.stats.counter("net.bytes")
+        packets_counter.add(1)
+        self._net_bytes.add(size)

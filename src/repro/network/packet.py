@@ -10,13 +10,18 @@ should be DMA'd to, plus an interrupt-request bit controlled by the sender
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import field
+
+from .._compat import slotted_dataclass
 from typing import Optional
+
+from ..sim.ids import RunScopedCounter
 
 __all__ = ["PacketKind", "Packet"]
 
-_packet_ids = itertools.count()
+#: Debug numbering only, but it reaches telemetry via ``repr`` — run-scoped
+#: so same-seed runs in one process stay identical (see repro.sim.ids).
+_packet_ids = RunScopedCounter()
 
 
 class PacketKind(enum.Enum):
@@ -27,7 +32,7 @@ class PacketKind(enum.Enum):
     CONTROL = "ctl"
 
 
-@dataclass
+@slotted_dataclass
 class Packet:
     """One wire transfer: header(s) plus a contiguous data payload.
 
@@ -70,7 +75,12 @@ class Packet:
     #: it sat queued before the incoming engine picked it up (RX-FIFO
     #: residency — an attribution input, never a simulation input).
     admitted_at: Optional[float] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
+    #: Total wire size including every fragment header.  Precomputed at
+    #: construction: ``payload`` is immutable ``bytes`` and no field is
+    #: ever rebound, and the hot paths read ``size`` several times per
+    #: packet.
+    size: int = field(init=False)
 
     def __post_init__(self):
         if not 0 <= self.offset:
@@ -79,11 +89,7 @@ class Packet:
             raise ValueError("packets must carry at least one byte of data")
         if self.fragments < 1:
             raise ValueError("fragments must be >= 1")
-
-    @property
-    def size(self) -> int:
-        """Total wire size including every fragment header."""
-        return self.header_bytes * self.fragments + len(self.payload)
+        self.size = self.header_bytes * self.fragments + len(self.payload)
 
     @property
     def data_bytes(self) -> int:

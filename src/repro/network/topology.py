@@ -20,7 +20,13 @@ LinkId = Tuple[int, int]
 
 @dataclass(frozen=True)
 class MeshTopology:
-    """A width x height mesh of nodes numbered row-major from 0."""
+    """A width x height mesh of nodes numbered row-major from 0.
+
+    ``xy_route`` and ``hop_count`` are memoized per (src, dst) pair — at
+    most ``num_nodes**2`` entries (256 on the 16-node mesh), computed on
+    first use.  Cached routes are returned by reference: treat them as
+    immutable.
+    """
 
     width: int
     height: int
@@ -28,6 +34,11 @@ class MeshTopology:
     def __post_init__(self):
         if self.width < 1 or self.height < 1:
             raise ValueError("mesh dimensions must be positive")
+        # Per-instance memo tables (the dataclass is frozen, so they are
+        # attached via object.__setattr__; they hold derived values only
+        # and do not participate in eq/hash).
+        object.__setattr__(self, "_route_cache", {})
+        object.__setattr__(self, "_hop_cache", {})
 
     @property
     def num_nodes(self) -> int:
@@ -68,8 +79,12 @@ class MeshTopology:
         """The sequence of directed links from src to dst under XY routing.
 
         Empty when src == dst (a node talking to itself never enters the
-        backplane).
+        backplane).  Memoized: repeated calls return the same list object —
+        do not mutate it.
         """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         path: List[LinkId] = []
@@ -82,9 +97,15 @@ class MeshTopology:
             ny = y + (1 if dy > y else -1)
             path.append((self.node_at(x, y), self.node_at(x, ny)))
             y = ny
+        self._route_cache[(src, dst)] = path
         return path
 
     def hop_count(self, src: int, dst: int) -> int:
+        cached = self._hop_cache.get((src, dst))
+        if cached is not None:
+            return cached
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        hops = abs(sx - dx) + abs(sy - dy)
+        self._hop_cache[(src, dst)] = hops
+        return hops

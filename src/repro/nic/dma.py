@@ -16,18 +16,19 @@ transfer still contends with the CPU — the reason queueing bought ~nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
+
+from .._compat import slotted_dataclass
 from typing import Generator, Optional, Set
 
 from ..sim import Event, Queue, Resource, Simulator, StatsRegistry
-from ..sim.engine import Timeout
 from ..hardware import MachineParams, MemoryBus, PhysicalMemory
 from ..network import Packet, PacketKind
 
 __all__ = ["TransferRequest", "DeliberateUpdateEngine"]
 
 
-@dataclass
+@slotted_dataclass
 class TransferRequest:
     """One deliberate-update transfer (at most one page)."""
 
@@ -45,10 +46,12 @@ class TransferRequest:
     #: Telemetry span of the library-level send this transfer belongs to
     #: (None when telemetry is off); the DU engine parents its span to it.
     span: Optional[int] = None
-    #: Triggered when the DMA has read the data and handed it to the network
-    #: (source buffer reusable).
+    #: Completion events, triggered by the engine **only when installed**
+    #: (set them before ``initiate`` queues the request).  ``sent`` fires
+    #: when the DMA has read the data (source buffer reusable);
+    #: ``delivered`` when the packet has reached the remote NIC.  Leaving
+    #: them None makes a fire-and-forget transfer allocation-free.
     sent: Optional[Event] = None
-    #: Triggered when the packet has been delivered to the remote NIC.
     delivered: Optional[Event] = None
 
     def __post_init__(self):
@@ -84,6 +87,11 @@ class DeliberateUpdateEngine:
         self._pending_pages: Set[int] = set()
         self.transfers_completed = 0
         self._process = None
+        # Counter handles bound lazily on first completed transfer (eager
+        # binding would surface zero-valued counters in snapshots of runs
+        # that never use deliberate update).
+        self._transfers_counter = None
+        self._bytes_counter = None
 
     def start(self) -> None:
         if self._process is None:
@@ -106,20 +114,19 @@ class DeliberateUpdateEngine:
         With queue depth 1 this blocks until the engine is idle; deeper
         queues let asynchronous sends run ahead of the DMA.
         """
-        page_span = self._page_span(request)
-        if len(page_span) != 1:
+        page_size = self.params.page_size
+        frame = request.src_phys // page_size
+        if (request.src_phys + request.nbytes - 1) // page_size != frame:
             raise ValueError(
                 "deliberate-update transfers cannot cross page boundaries; "
-                f"request spans frames {sorted(page_span)}"
+                f"request spans frames {sorted(self._page_span(request))}"
             )
-        if request.dst_offset + request.nbytes > self.params.page_size:
+        if request.dst_offset + request.nbytes > page_size:
             raise ValueError("transfer crosses the remote page boundary")
-        yield from self._slots.acquire()
-        self._pending_pages.update(page_span)
-        if request.sent is None:
-            request.sent = self.sim.event("du.sent")
-        if request.delivered is None:
-            request.delivered = self.sim.event("du.delivered")
+        slots = self._slots
+        if not slots.try_acquire():
+            yield from slots._acquire_wait()
+        self._pending_pages.add(frame)
         self._requests.put(request)
 
     def _page_span(self, request: TransferRequest) -> Set[int]:
@@ -130,34 +137,54 @@ class DeliberateUpdateEngine:
     # -- the engine ----------------------------------------------------------
 
     def _run(self) -> Generator:
+        # Long-lived engine loop: invariant collaborators are hoisted to
+        # locals, and the two fixed delays are yielded as bare floats
+        # (the allocation-free Timeout form).
+        node_id = self.node_id
+        params = self.params
+        stats = self.stats
+        get = self._requests.get
+        try_get = self._requests.try_get
+        bus_transfer = self.bus.transfer
+        memory_read = self.memory.read
+        pending_pages = self._pending_pages
+        release_slot = self._slots.release
+        inject = self.inject
+        page_size = params.page_size
+        eisa_bandwidth = params.eisa_bandwidth
+        dma_start = params.dma_start_us
+        packetize = params.packetize_us
         while True:
-            request = yield from self._requests.get()
-            tel = self.stats.telemetry
+            # try_get first: a queued request is claimed with a plain call,
+            # no sub-generator round-trip (requests are never None).
+            request = try_get()
+            if request is None:
+                request = yield from get()
+            tel = stats.telemetry
             span = None
             if tel is not None:
                 span = tel.begin(
                     "nic.du",
-                    self.node_id,
+                    node_id,
                     "nic.tx",
                     parent=request.span,
                     bytes=request.nbytes,
                     dst=request.dst_node,
                     seq=request.seq,
                 )
-            yield Timeout(self.params.dma_start_us)
+            yield dma_start
             # DMA read of the source data: holds the memory bus at EISA
             # speed, locking out the CPU for the duration.
-            yield from self.bus.transfer(
-                request.nbytes, bandwidth=self.params.eisa_bandwidth
-            )
-            payload = self.memory.read(request.src_phys, request.nbytes)
-            self._pending_pages -= self._page_span(request)
-            self._slots.release()
-            request.sent.succeed()
+            yield from bus_transfer(request.nbytes, bandwidth=eisa_bandwidth)
+            payload = memory_read(request.src_phys, request.nbytes)
+            pending_pages.discard(request.src_phys // page_size)
+            release_slot()
+            if request.sent is not None:
+                request.sent.succeed()
 
-            yield Timeout(self.params.packetize_us)
+            yield packetize
             packet = Packet(
-                src=self.node_id,
+                src=node_id,
                 dst=request.dst_node,
                 dst_frame=request.dst_frame,
                 offset=request.dst_offset,
@@ -169,10 +196,17 @@ class DeliberateUpdateEngine:
                 seq=request.seq,
                 span=span,
             )
-            yield from self.inject(packet)
+            yield from inject(packet)
             self.transfers_completed += 1
-            self.stats.count("du.transfers")
-            self.stats.count("du.bytes", request.nbytes)
-            request.delivered.succeed()
+            transfers_counter = self._transfers_counter
+            if transfers_counter is None:
+                transfers_counter = self._transfers_counter = stats.counter(
+                    "du.transfers"
+                )
+                self._bytes_counter = stats.counter("du.bytes")
+            transfers_counter.add(1)
+            self._bytes_counter.add(request.nbytes)
+            if request.delivered is not None:
+                request.delivered.succeed()
             if tel is not None:
                 tel.end(span)

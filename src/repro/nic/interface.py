@@ -105,6 +105,11 @@ class ShrimpNIC:
         #: and zero overhead on the receive/send paths.
         self.fault_plan = None
 
+        # Hot-path counter handles, bound lazily on first use so unused
+        # counters never appear (zero-valued) in stats snapshots.
+        self._rx_packets_counter = None
+        self._rx_bytes_counter = None
+
         backplane.attach_receiver(node_id, self._on_packet)
         self._started = False
 
@@ -155,7 +160,7 @@ class ShrimpNIC:
                     fragments=packet.fragments,
                 )
                 packet.span = span
-            yield Timeout(self.params.snoop_capture_us + self.params.packetize_us)
+            yield self.params.snoop_capture_us + self.params.packetize_us
             yield from self._inject(packet)
             self.fifo.mark_injected(packet)
             self.stats.count("au.packets", packet.fragments)
@@ -165,7 +170,10 @@ class ShrimpNIC:
     # -- send side: deliberate update ------------------------------------
 
     def initiate_du(self, request: TransferRequest) -> Generator:
-        yield from self.du.initiate(request)
+        # Plain delegation: returning the inner generator (rather than
+        # being a generator that yields from it) keeps one frame out of
+        # every resume on the initiation path.
+        return self.du.initiate(request)
 
     def _inject(self, packet: Packet) -> Generator:
         """Serialize on the format-and-send arbiter, then transmit."""
@@ -175,12 +183,19 @@ class ShrimpNIC:
             # A crashed node's NIC goes dark: outbound traffic vanishes.
             self.stats.count("fault.crash_tx_drops")
             return
-        self.stats.trace("nic.tx", self.node_id, repr(packet))
-        yield from self.arbiter.acquire()
+        stats = self.stats
+        tracer = stats.tracer
+        if (tracer is not None and tracer.enabled) or stats.telemetry is not None:
+            # Guarded so the repr (a per-packet string build) is never
+            # computed when nobody is listening.
+            stats.trace("nic.tx", self.node_id, repr(packet))
+        arbiter = self.arbiter
+        if not arbiter.try_acquire():
+            yield from arbiter._acquire_wait()
         try:
             yield from self.backplane.transmit(packet)
         finally:
-            self.arbiter.release()
+            arbiter.release()
 
     def send_control(self, packet: Packet) -> Generator:
         """Inject an endpoint-generated control packet (reliable-mode acks).
@@ -200,7 +215,7 @@ class ShrimpNIC:
                 seq=packet.seq,
             )
             packet.span = span
-        yield Timeout(self.params.packetize_us)
+        yield self.params.packetize_us
         yield from self._inject(packet)
         if tel is not None:
             tel.end(span)
@@ -215,21 +230,22 @@ class ShrimpNIC:
             from ..sim import Signal
 
             self._rx_freed = Signal(self.sim, f"rxfree{self.node_id}")
-        capacity = max(self.params.rx_fifo_bytes, packet.size)
+        size = packet.size
+        capacity = max(self.params.rx_fifo_bytes, size)
         if (
             self.fault_plan is not None
             and self.fault_plan.config.rx_overflow_discard
-            and self._rx_fill + packet.size > capacity
+            and self._rx_fill + size > capacity
         ):
             # Commodity-switch behavior: a full receive FIFO discards the
             # arrival instead of exerting wormhole backpressure.
             self.stats.count("fault.rx_overflow_drops")
             self.stats.trace("fault.rx_overflow", self.node_id, repr(packet))
             return
-        while self._rx_fill + packet.size > capacity:
+        while self._rx_fill + size > capacity:
             self.stats.count("rx.backpressure")
             yield from self._rx_freed.wait()
-        self._rx_fill += packet.size
+        self._rx_fill += size
         tel = self.stats.telemetry
         if tel is not None:
             packet.admitted_at = self.sim.now
@@ -239,14 +255,33 @@ class ShrimpNIC:
         self._rx_queue.put(packet)
 
     def _receive_engine(self) -> Generator:
+        # Long-lived engine loop: invariant collaborators live in locals
+        # (``stats.telemetry``, ``fault_plan`` and ``_rx_freed`` stay
+        # dynamic — they can be installed mid-run).
+        node_id = self.node_id
+        params = self.params
+        stats = self.stats
+        get = self._rx_queue.get
+        try_get = self._rx_queue.try_get
+        bus_transfer = self.bus.transfer
+        memory = self.memory
+        post_delivery = self._post_delivery
+        rx_packet_us = params.rx_packet_us
+        rx_dma_start_us = params.rx_dma_start_us
+        eisa_bandwidth = params.eisa_bandwidth
+        eisa_transaction_us = params.eisa_transaction_us
         while True:
-            packet = yield from self._rx_queue.get()
-            tel = self.stats.telemetry
+            # Claim an already-queued packet with a plain call (packets are
+            # never None); only block through the sub-generator when empty.
+            packet = try_get()
+            if packet is None:
+                packet = yield from get()
+            tel = stats.telemetry
             span = None
             if tel is not None:
                 span = tel.begin(
                     "nic.rx",
-                    self.node_id,
+                    node_id,
                     "nic.rx",
                     parent=packet.span,
                     src=packet.src,
@@ -261,56 +296,61 @@ class ShrimpNIC:
                 packet.span = span
             if self.fault_plan is not None:
                 # A stalled node's receive engine freezes for the window.
-                until = self.fault_plan.stall_until(self.node_id, self.sim.now)
+                until = self.fault_plan.stall_until(node_id, self.sim.now)
                 if until > self.sim.now:
-                    self.stats.count("fault.stall_delays")
-                    self.stats.trace(
-                        "fault.stall", self.node_id, f"rx frozen until {until:.1f}"
+                    stats.count("fault.stall_delays")
+                    stats.trace(
+                        "fault.stall", node_id, f"rx frozen until {until:.1f}"
                     )
-                    yield Timeout(until - self.sim.now)
+                    yield until - self.sim.now
+            fragments = packet.fragments
             # Per-packet header decode and IPT lookup, once per fragment.
-            yield Timeout(
-                packet.fragments * self.params.rx_packet_us
-                + self.params.rx_dma_start_us
-            )
+            yield fragments * rx_packet_us + rx_dma_start_us
             if packet.corrupted:
                 # CRC failure: discard after the header work, before DMA.
                 self._rx_fill -= packet.size
                 if tel is not None:
-                    tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
+                    tel.timeline(f"rxfifo.n{node_id}", node=node_id).record(
                         self.sim.now, self._rx_fill
                     )
                     tel.end(span, discarded=True)
                 if self._rx_freed is not None:
                     self._rx_freed.fire()
-                self.stats.count("fault.corrupt_discards")
-                self.stats.trace("fault.corrupt_discard", self.node_id, repr(packet))
+                stats.count("fault.corrupt_discards")
+                stats.trace("fault.corrupt_discard", node_id, repr(packet))
                 continue
+            data_bytes = packet.data_bytes
             # Incoming DMA into main memory: each fragment is an individual
             # EISA bus transaction — the bandwidth penalty that makes
             # uncombined automatic update collapse for bulk data
             # (section 4.5.1).
-            yield from self.bus.transfer(
-                packet.data_bytes,
-                bandwidth=self.params.eisa_bandwidth,
-                transactions=packet.fragments,
-                transaction_us=self.params.eisa_transaction_us,
+            yield from bus_transfer(
+                data_bytes,
+                bandwidth=eisa_bandwidth,
+                transactions=fragments,
+                transaction_us=eisa_transaction_us,
             )
             if packet.kind is not PacketKind.CONTROL:
-                base = self.memory.frame_base(packet.dst_frame)
-                self.memory.write(base + packet.offset, packet.payload)
+                base = memory.frame_base(packet.dst_frame)
+                memory.write(base + packet.offset, packet.payload)
             self._rx_fill -= packet.size
             if tel is not None:
-                tel.timeline(f"rxfifo.n{self.node_id}", node=self.node_id).record(
+                tel.timeline(f"rxfifo.n{node_id}", node=node_id).record(
                     self.sim.now, self._rx_fill
                 )
                 tel.end(span)
             if self._rx_freed is not None:
                 self._rx_freed.fire()
-            self.stats.count("rx.packets", packet.fragments)
-            self.stats.count("rx.bytes", packet.data_bytes)
-            self.stats.trace("nic.rx", self.node_id, repr(packet))
-            self._post_delivery(packet)
+            rx_packets = self._rx_packets_counter
+            if rx_packets is None:
+                rx_packets = self._rx_packets_counter = stats.counter("rx.packets")
+                self._rx_bytes_counter = stats.counter("rx.bytes")
+            rx_packets.add(fragments)
+            self._rx_bytes_counter.add(data_bytes)
+            tracer = stats.tracer
+            if (tracer is not None and tracer.enabled) or stats.telemetry is not None:
+                stats.trace("nic.rx", node_id, repr(packet))
+            post_delivery(packet)
 
     def _post_delivery(self, packet: Packet) -> None:
         """Queue the packet's delivery side-effects.
@@ -343,10 +383,16 @@ class ShrimpNIC:
         self._delivery_queue.put((packet, self.sim.now + delay, is_notification))
 
     def _delivery_pipeline(self) -> Generator:
+        get = self._delivery_queue.get
+        try_get = self._delivery_queue.try_get
+        sim = self.sim
         while True:
-            packet, visible_at, is_notification = yield from self._delivery_queue.get()
-            if visible_at > self.sim.now:
-                yield Timeout(visible_at - self.sim.now)
+            entry = try_get()
+            if entry is None:
+                entry = yield from get()
+            packet, visible_at, is_notification = entry
+            if visible_at > sim.now:
+                yield visible_at - sim.now
             if is_notification and self.on_notification_interrupt is not None:
                 tel = self.stats.telemetry
                 if tel is not None:

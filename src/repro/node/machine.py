@@ -56,6 +56,12 @@ class Machine:
         self.num_nodes = num_nodes
         self.sim = Simulator()
         self.stats = StatsRegistry()
+        # Rewind the run-scoped debug counters (packet/channel/buffer/...
+        # numbering): their values reach telemetry through reprs and span
+        # labels, so same-seed runs in one process must start them equal.
+        from ..sim.ids import reset_run_counters
+
+        reset_run_counters()
         from ..sim.trace import Tracer
 
         #: Event tracer (disabled by default): machine.tracer.enable().

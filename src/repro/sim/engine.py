@@ -10,6 +10,11 @@ simulator and is resumed when the request completes:
 ``yield Timeout(dt)``
     resume ``dt`` microseconds later.
 
+``yield dt`` (a bare float)
+    shorthand for ``Timeout(dt)`` with no resume value; the hot-path form
+    used when the delay is computed fresh per packet, since it schedules
+    without allocating a request object.
+
 ``yield event`` (an :class:`Event`)
     resume when the event is triggered; the ``yield`` evaluates to the
     event's value.
@@ -22,15 +27,37 @@ Processes may delegate to sub-generators with ``yield from``, which is the
 idiom used pervasively by the higher layers (e.g. a VMMC send delegates to
 the NIC which delegates to the bus).
 
-The engine is deterministic: ties in the event queue are broken by insertion
-order, and the library never consults wall-clock time or global randomness.
+Determinism and the ordering contract
+-------------------------------------
+The engine is deterministic: the library never consults wall-clock time or
+global randomness, and every schedulable entry carries a monotonically
+increasing sequence number.  Entries execute in strict ``(time, seq)``
+order — FIFO among same-time entries, insertion order breaking ties.
+
+Internally there are two queues (DESIGN.md section 11):
+
+* a **heap** of ``(time, seq, fn, proc, value, exc)`` records for entries
+  with a real delay (timeouts and explicit ``schedule`` callbacks), and
+* an **immediate deque** of ``(seq, proc, value, exc)`` records for
+  zero-delay resumes (event wakeups, joins, interrupts, spawns), which
+  dominate event traffic and bypass ``heapq`` entirely.
+
+Immediate records are only ever appended at the current clock value, so the
+run loop can drain them without a time comparison; the sequence numbers are
+shared between both queues, and the loop always executes whichever head has
+the smaller ``seq`` when the heap's head is due now — making the two-queue
+split *unobservable*: the execution order is bit-for-bit the same as a
+single ``(time, seq)`` priority queue.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Optional
+
+_heappush = heapq.heappush
 
 __all__ = [
     "Simulator",
@@ -58,7 +85,11 @@ class Interrupted(Exception):
 
 
 class Timeout:
-    """Request object: resume the yielding process after ``delay``."""
+    """Request object: resume the yielding process after ``delay``.
+
+    Timeouts are immutable and the engine only reads them, so hot loops may
+    build one per fixed delay and yield the same instance repeatedly.
+    """
 
     __slots__ = ("delay", "value")
 
@@ -69,7 +100,9 @@ class Timeout:
         self.value = value
 
     def __repr__(self) -> str:
-        return f"Timeout({self.delay})"
+        if self.value is None:
+            return f"Timeout({self.delay})"
+        return f"Timeout({self.delay}, value={self.value!r})"
 
 
 class Event:
@@ -80,9 +113,16 @@ class Event:
     resumes immediately with the stored value.  Events are the basic
     synchronization primitive used for message arrival, interrupt delivery
     and condition signalling.
+
+    Cancelled waits (interrupts) are recorded as **tombstones** in
+    ``_discarded`` rather than spliced out of the waiter list, so an
+    interrupt costs O(1) instead of an O(n) ``list.remove`` — interrupt
+    churn on heavily-waited events (reliable-transport retransmission
+    timers) stays linear overall.  The list is compacted once tombstones
+    reach half its length.
     """
 
-    __slots__ = ("sim", "_value", "_triggered", "_waiters", "name")
+    __slots__ = ("sim", "_value", "_triggered", "_waiters", "_discarded", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -90,6 +130,7 @@ class Event:
         self._value: Any = None
         self._triggered = False
         self._waiters: list[SimProcess] = []
+        self._discarded: Optional[set] = None
 
     @property
     def triggered(self) -> bool:
@@ -104,22 +145,56 @@ class Event:
             raise SimulationError(f"event {self.name!r} already triggered")
         self._triggered = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim._schedule_resume(proc, value)
+        waiters = self._waiters
+        if not waiters:
+            self._discarded = None
+            return self
+        if len(waiters) == 1 and not self._discarded:
+            # Single live waiter (the overwhelmingly common case for gate
+            # events): resume it in place, reusing the waiter list.
+            proc = waiters[0]
+            waiters.clear()
+            proc._waiting_on = None
+            sim = self.sim
+            sim._immediate.append((next(sim._seq), proc, value, None))
+            return self
+        self._waiters = []
+        discarded, self._discarded = self._discarded, None
+        sim = self.sim
+        immediate = sim._immediate
+        seq = sim._seq
+        if discarded:
+            for proc in waiters:
+                if proc not in discarded:
+                    proc._waiting_on = None
+                    immediate.append((next(seq), proc, value, None))
+        else:
+            for proc in waiters:
+                proc._waiting_on = None
+                immediate.append((next(seq), proc, value, None))
         return self
 
     def _add_waiter(self, proc: "SimProcess") -> None:
         if self._triggered:
             self.sim._schedule_resume(proc, self._value)
-        else:
-            self._waiters.append(proc)
+            return
+        discarded = self._discarded
+        if discarded and proc in discarded:
+            # The process waited here before, was interrupted, and is now
+            # waiting again: compact so its stale tombstoned entry cannot
+            # shadow (or outrank) the new one.
+            self._waiters = [p for p in self._waiters if p not in discarded]
+            discarded.clear()
+        self._waiters.append(proc)
 
     def _discard_waiter(self, proc: "SimProcess") -> None:
-        try:
-            self._waiters.remove(proc)
-        except ValueError:
-            pass
+        discarded = self._discarded
+        if discarded is None:
+            discarded = self._discarded = set()
+        discarded.add(proc)
+        if len(discarded) * 2 >= len(self._waiters):
+            self._waiters = [p for p in self._waiters if p not in discarded]
+            discarded.clear()
 
     def __repr__(self) -> str:
         state = "triggered" if self._triggered else "pending"
@@ -136,6 +211,7 @@ class SimProcess:
     __slots__ = (
         "sim",
         "gen",
+        "_send",
         "name",
         "done",
         "result",
@@ -148,6 +224,7 @@ class SimProcess:
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
         self.gen = gen
+        self._send = gen.send
         self.name = name or getattr(gen, "__name__", "process")
         self.done = False
         self.result: Any = None
@@ -186,13 +263,21 @@ class SimProcess:
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, action) entries."""
+    """The event loop: an immediate deque in front of a (time, seq) heap."""
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        #: Delayed entries: (time, seq, fn, proc, value, exc).  ``fn`` is
+        #: set for explicit ``schedule`` callbacks; process resumes carry
+        #: the record fields directly so no closure is allocated.
+        self._queue: list = []
+        #: Zero-delay resumes at the current clock value: (seq, proc,
+        #: value, exc).  Drained ahead of the heap in shared-seq order.
+        self._immediate: deque = deque()
         self._seq = itertools.count()
         self._stopped = False
+        #: Total scheduler dispatches executed (for the perf harness).
+        self.events_processed: int = 0
         #: The process currently being stepped (None between steps); lets
         #: the telemetry collector attribute spans to their emitting process.
         self.current: Optional[SimProcess] = None
@@ -205,7 +290,9 @@ class Simulator:
         """Run ``fn()`` after ``delay`` microseconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn))
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._seq), fn, None, None, None)
+        )
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
@@ -220,17 +307,17 @@ class Simulator:
         proc = SimProcess(self, gen, name)
         if self.telemetry is not None:
             self.telemetry.instant("sim.spawn", -1, "sim", proc=proc.name)
-        self._schedule_resume(proc, None)
+        self._immediate.append((next(self._seq), proc, None, None))
         return proc
 
     # -- internal resume machinery --------------------------------------
 
     def _schedule_resume(self, proc: SimProcess, value: Any) -> None:
         proc._waiting_on = None
-        self.schedule(0.0, lambda: self._step(proc, value, None))
+        self._immediate.append((next(self._seq), proc, value, None))
 
     def _schedule_throw(self, proc: SimProcess, exc: BaseException) -> None:
-        self.schedule(0.0, lambda: self._step(proc, None, exc))
+        self._immediate.append((next(self._seq), proc, None, exc))
 
     def _step(self, proc: SimProcess, value: Any, exc: Optional[BaseException]) -> None:
         if proc.done:
@@ -240,17 +327,64 @@ class Simulator:
             if exc is not None:
                 request = proc.gen.throw(exc)
             else:
-                request = proc.gen.send(value)
+                request = proc._send(value)
         except StopIteration as stop:
             proc._finish(stop.value)
             return
         finally:
             self.current = None
-        self._dispatch(proc, request)
+        # Exact-type dispatch: the request classes are final in practice,
+        # so one identity check replaces the isinstance chain; subclasses
+        # (if any) fall through to the generic path.  A bare float is the
+        # allocation-free spelling of ``Timeout(delay)`` (resume value
+        # None), for hot paths that compute a fresh delay per packet.
+        cls = request.__class__
+        if cls is Timeout:
+            _heappush(
+                self._queue,
+                (
+                    self.now + request.delay,
+                    next(self._seq),
+                    None,
+                    proc,
+                    request.value,
+                    None,
+                ),
+            )
+        elif cls is float:
+            _heappush(
+                self._queue,
+                (self.now + request, next(self._seq), None, proc, None, None),
+            )
+        elif cls is Event:
+            proc._waiting_on = request
+            request._add_waiter(proc)
+        elif cls is SimProcess:
+            request._add_joiner(proc)
+        else:
+            self._dispatch(proc, request)
 
     def _dispatch(self, proc: SimProcess, request: Any) -> None:
-        if isinstance(request, Timeout):
-            self.schedule(request.delay, lambda: self._step(proc, request.value, None))
+        """Generic (subclass-tolerant) request dispatch; the error path."""
+        if request.__class__ is float:
+            # Strictly ``float``: ints (and bools) stay errors, so a stray
+            # ``yield count`` fails loudly instead of silently sleeping.
+            heapq.heappush(
+                self._queue,
+                (self.now + request, next(self._seq), None, proc, None, None),
+            )
+        elif isinstance(request, Timeout):
+            heapq.heappush(
+                self._queue,
+                (
+                    self.now + request.delay,
+                    next(self._seq),
+                    None,
+                    proc,
+                    request.value,
+                    None,
+                ),
+            )
         elif isinstance(request, Event):
             proc._waiting_on = request
             request._add_waiter(proc)
@@ -265,21 +399,145 @@ class Simulator:
     # -- running ---------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains or the clock passes ``until``.
+        """Run until the queues drain or the clock passes ``until``.
 
         Returns the simulation time at which the run stopped.
         """
         self._stopped = False
-        while self._queue and not self._stopped:
-            time, _seq, fn = self._queue[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            if time < self.now:
-                raise SimulationError("event queue went backwards in time")
-            self.now = time
-            fn()
+        immediate = self._immediate
+        queue = self._queue
+        step = self._step
+        pop = heapq.heappop
+        popleft = immediate.popleft
+        seq_counter = self._seq
+        dispatched = 0
+        # Local mirror of the clock: only this loop ever writes ``self.now``,
+        # so the mirror is kept exact by updating both together.
+        now = self.now
+        try:
+            while not self._stopped:
+                if immediate:
+                    # Heap entries already due *now* with an older seq must
+                    # run first to preserve the global (time, seq) order.
+                    if queue:
+                        head = queue[0]
+                        if head[0] <= now and head[1] < immediate[0][0]:
+                            _time, _seq, fn, proc, value, exc = pop(queue)
+                            dispatched += 1
+                            if fn is not None:
+                                fn()
+                            else:
+                                step(proc, value, exc)
+                            continue
+                    _seq, proc, value, exc = popleft()
+                    dispatched += 1
+                    # The step body is fused inline here (and in the heap
+                    # branch below): one Python call per event is a
+                    # measurable share of the loop at this event rate.
+                    if proc.done:
+                        continue
+                    self.current = proc
+                    try:
+                        if exc is not None:
+                            request = proc.gen.throw(exc)
+                        else:
+                            request = proc._send(value)
+                    except StopIteration as stop:
+                        proc._finish(stop.value)
+                        self.current = None
+                        continue
+                    self.current = None
+                    cls = request.__class__
+                    if cls is Timeout:
+                        _heappush(
+                            queue,
+                            (
+                                now + request.delay,
+                                next(seq_counter),
+                                None,
+                                proc,
+                                request.value,
+                                None,
+                            ),
+                        )
+                    elif cls is float:
+                        # Bare-float delay: Timeout(delay) without the
+                        # request object.
+                        _heappush(
+                            queue,
+                            (now + request, next(seq_counter), None, proc, None, None),
+                        )
+                    elif cls is Event:
+                        proc._waiting_on = request
+                        # Inlined _add_waiter fast path (untriggered, no
+                        # tombstone for this proc): just append.
+                        if request._triggered or request._discarded:
+                            request._add_waiter(proc)
+                        else:
+                            request._waiters.append(proc)
+                    elif cls is SimProcess:
+                        request._add_joiner(proc)
+                    else:
+                        self._dispatch(proc, request)
+                    continue
+                if not queue:
+                    break
+                time = queue[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                _time, _seq, fn, proc, value, exc = pop(queue)
+                if time < now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = now = time
+                dispatched += 1
+                if fn is not None:
+                    fn()
+                    continue
+                if proc.done:
+                    continue
+                self.current = proc
+                try:
+                    if exc is not None:
+                        request = proc.gen.throw(exc)
+                    else:
+                        request = proc._send(value)
+                except StopIteration as stop:
+                    proc._finish(stop.value)
+                    self.current = None
+                    continue
+                self.current = None
+                cls = request.__class__
+                if cls is Timeout:
+                    _heappush(
+                        queue,
+                        (
+                            time + request.delay,
+                            next(seq_counter),
+                            None,
+                            proc,
+                            request.value,
+                            None,
+                        ),
+                    )
+                elif cls is float:
+                    _heappush(
+                        queue,
+                        (time + request, next(seq_counter), None, proc, None, None),
+                    )
+                elif cls is Event:
+                    proc._waiting_on = request
+                    if request._triggered or request._discarded:
+                        request._add_waiter(proc)
+                    else:
+                        request._waiters.append(proc)
+                elif cls is SimProcess:
+                    request._add_joiner(proc)
+                else:
+                    self._dispatch(proc, request)
+        finally:
+            self.current = None
+            self.events_processed += dispatched
         return self.now
 
     def run_process(self, gen: Generator, name: str = "") -> Any:

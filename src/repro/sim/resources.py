@@ -1,6 +1,7 @@
 """Synchronization and queueing primitives for simulation processes.
 
-All blocking operations are generator methods used with ``yield from``::
+All blocking operations are iterator-returning methods used with
+``yield from``::
 
     yield from bus.acquire()
     try:
@@ -11,16 +12,35 @@ All blocking operations are generator methods used with ``yield from``::
 or, for queues::
 
     item = yield from mailbox.get()
+
+``acquire`` and ``get`` have **non-suspending fast paths**: when the
+resource is free (or an item is already queued) they return a pre-resolved
+iterator instead of a generator, so the uncontended case costs no Event
+allocation, no generator frame and no extra scheduler round-trip — the
+``yield from`` completes synchronously inside the caller's step.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator, Iterator, Optional
 
 from .engine import Event, SimulationError, Simulator
 
 __all__ = ["Resource", "Queue", "Signal"]
+
+#: Shared exhausted iterator: ``yield from _COMPLETED`` finishes
+#: immediately with value None and allocates nothing.
+_COMPLETED: Iterator = iter(())
+
+
+def _ready(value: Any) -> Generator:
+    """A pre-resolved sub-generator: ``yield from _ready(v)`` returns ``v``
+    immediately.  A generator (rather than a custom iterator raising
+    ``StopIteration``) keeps the early return on CPython's C-level
+    generator-exit path, which is about twice as fast."""
+    return value
+    yield  # pragma: no cover - makes this function a generator
 
 
 class Resource:
@@ -36,8 +56,11 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._gate_name = f"{name}.acquire"
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        # One retired gate event kept for reuse (see _acquire_wait).
+        self._spare_gate: Optional[Event] = None
         # Cumulative busy statistics (single-capacity resources only).
         self.busy_time = 0.0
         self._busy_since: Optional[float] = None
@@ -50,31 +73,65 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
-    def acquire(self) -> Generator:
-        """Block until a unit of the resource is available, then hold it."""
+    def acquire(self) -> Iterator:
+        """Hold a unit of the resource; use with ``yield from``.
+
+        Uncontended, the unit is granted synchronously at the call and the
+        returned iterator is already exhausted; otherwise the caller blocks
+        on a FIFO gate event until ``release`` hands the unit over.
+        """
         if self._in_use < self.capacity:
-            self._grant()
-            return
-        gate = self.sim.event(f"{self.name}.acquire")
+            if self._in_use == 0:
+                self._busy_since = self.sim.now
+            self._in_use += 1
+            return _COMPLETED
+        return self._acquire_wait()
+
+    def _acquire_wait(self) -> Generator:
+        # Gate events are single-use and private to this resource, so a
+        # completed one can be reset and reused by the next waiter instead
+        # of allocating afresh.  An interrupted wait skips the recycle line,
+        # so a gate still queued in ``_waiters`` is never reused.
+        gate = self._spare_gate
+        if gate is None:
+            gate = Event(self.sim, self._gate_name)
+        else:
+            self._spare_gate = None
+            gate._triggered = False
+            gate._value = None
         self._waiters.append(gate)
         yield gate
+        self._spare_gate = gate
 
     def try_acquire(self) -> bool:
-        """Acquire without waiting; returns False when fully in use."""
+        """Acquire without waiting; returns False when fully in use.
+
+        Hot generators pair this with ``_acquire_wait``::
+
+            if not resource.try_acquire():
+                yield from resource._acquire_wait()
+
+        which grants the uncontended case with one plain call — no
+        ``yield from`` round-trip at all (equivalent to ``acquire``).
+        """
         if self._in_use < self.capacity:
-            self._grant()
+            if self._in_use == 0:
+                self._busy_since = self.sim.now
+            self._in_use += 1
             return True
         return False
 
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        waiters = self._waiters
+        if waiters:
+            # Hand the unit straight to the next waiter: the in-use count
+            # is unchanged and the resource never goes idle.
+            waiters.popleft().succeed()
+            return
         self._in_use -= 1
-        if self._waiters:
-            # Hand the unit straight to the next waiter.
-            self._waiters.popleft().succeed()
-            self._in_use += 1
-        elif self._in_use == 0 and self._busy_since is not None:
+        if self._in_use == 0 and self._busy_since is not None:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
 
@@ -90,6 +147,12 @@ class Resource:
             busy += self.sim.now - self._busy_since
         return busy / elapsed if elapsed > 0 else 0.0
 
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self._in_use}/{self.capacity} in use, "
+            f"{len(self._waiters)} waiting)"
+        )
+
 
 class Queue:
     """An unbounded FIFO queue with blocking ``get``.
@@ -102,11 +165,18 @@ class Queue:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
+        self._gate_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        self._spare_gate: Optional[Event] = None
         self.total_put = 0
 
     def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def queue_length(self) -> int:
+        """Items currently queued (mirrors :attr:`Resource.queue_length`)."""
         return len(self._items)
 
     def put(self, item: Any) -> None:
@@ -116,13 +186,29 @@ class Queue:
         else:
             self._items.append(item)
 
-    def get(self) -> Generator:
-        """Block until an item is available and return it."""
+    def get(self) -> Iterator:
+        """Take the next item; use with ``yield from``.
+
+        When an item is already queued it is claimed synchronously at the
+        call and the returned iterator resolves immediately; otherwise the
+        caller blocks on a FIFO gate event until ``put`` hands one over.
+        """
         if self._items:
-            return self._items.popleft()
-        gate = self.sim.event(f"{self.name}.get")
+            return _ready(self._items.popleft())
+        return self._get_wait()
+
+    def _get_wait(self) -> Generator:
+        # Same single-spare recycling as Resource._acquire_wait.
+        gate = self._spare_gate
+        if gate is None:
+            gate = Event(self.sim, self._gate_name)
+        else:
+            self._spare_gate = None
+            gate._triggered = False
+            gate._value = None
         self._getters.append(gate)
         item = yield gate
+        self._spare_gate = gate
         return item
 
     def try_get(self) -> Any:
@@ -133,6 +219,12 @@ class Queue:
 
     def peek(self) -> Any:
         return self._items[0] if self._items else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Queue({self.name!r}, {len(self._items)} queued, "
+            f"{len(self._getters)} waiting)"
+        )
 
 
 class Signal:
@@ -148,6 +240,10 @@ class Signal:
         self.sim = sim
         self.name = name
         self._event = sim.event(name)
+        # The previously fired event, kept for reuse: by the next fire all
+        # of its waiters have been dispatched, so it can be reset and
+        # swapped back in (ping-pong between two Event objects).
+        self._retired: Optional[Event] = None
         self.fire_count = 0
 
     def wait(self) -> Generator:
@@ -157,5 +253,17 @@ class Signal:
 
     def fire(self, value: Any = None) -> None:
         self.fire_count += 1
-        event, self._event = self._event, self.sim.event(self.name)
-        event.succeed(value)
+        event = self._event
+        if event._waiters:
+            # Rotate only when someone is listening: an unwatched round can
+            # reuse the same (never-awaited) event, since ``wait`` always
+            # reads the current one — no allocation when nobody waits.
+            fresh = self._retired
+            if fresh is None:
+                fresh = Event(self.sim, self.name)
+            else:
+                fresh._triggered = False
+                fresh._value = None
+            self._retired = event
+            self._event = fresh
+            event.succeed(value)

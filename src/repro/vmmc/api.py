@@ -72,6 +72,8 @@ class VMMCRuntime:
         #: channel ids are globally unique).
         self._reliable_senders: Dict[int, ReliableChannel] = {}
         self._export_announced = Signal(self.sim, "vmmc.export")
+        # Bound lazily on first counted message (hot delivery path).
+        self._messages_received_counter = None
         for node in machine.nodes:
             state = _NodeState()
             self._node_state[node.node_id] = state
@@ -121,7 +123,12 @@ class VMMCRuntime:
         buffer.bytes_received += packet.data_bytes
         if count_message:
             buffer.messages_received += 1
-            self.stats.count("vmmc.messages_received")
+            counter = self._messages_received_counter
+            if counter is None:
+                counter = self._messages_received_counter = self.stats.counter(
+                    "vmmc.messages_received"
+                )
+            counter.add(1)
         if buffer.arrival is not None:
             buffer.arrival.fire(packet)
 
@@ -218,6 +225,8 @@ class VMMCEndpoint:
         self.exports: List[ReceiveBuffer] = []
         self.imports: List[ImportedBuffer] = []
         self.bindings: List[AUBinding] = []
+        # Hot-path counter handle, bound lazily on the first send.
+        self._messages_counter = None
 
     @property
     def node_id(self) -> int:
@@ -383,7 +392,12 @@ class VMMCEndpoint:
             raise VMMCError("send of zero bytes")
         if dst_offset + nbytes > imported.nbytes:
             raise VMMCError("send overruns the remote buffer")
-        self.stats.count("vmmc.messages_sent")
+        messages_counter = self._messages_counter
+        if messages_counter is None:
+            messages_counter = self._messages_counter = self.stats.counter(
+                "vmmc.messages_sent"
+            )
+        messages_counter.add(1)
         tel = self.stats.telemetry
         span = None
         if tel is not None:
@@ -397,11 +411,17 @@ class VMMCEndpoint:
                 dst=imported.remote_node,
             )
 
-        if not self.node.nic.config.user_level_dma:
+        node = self.node
+        nic = node.nic
+        if not nic.config.user_level_dma:
             # What-if (Table 2): a system call before every message send.
-            yield from self.node.kernel.syscall("communication")
+            yield from node.kernel.syscall("communication")
 
         page_size = self.params.page_size
+        udma_init_us = self.params.udma_init_us
+        translate = self.space.translate
+        proxy_lookup = nic.opt.proxy_lookup
+        cpu_busy = node.cpu.busy
         requests: List[TransferRequest] = []
         sent = 0
         while sent < nbytes:
@@ -412,9 +432,9 @@ class VMMCEndpoint:
                 page_size - (src % page_size),
                 page_size - (dst % page_size),
             )
-            src_phys = self.space.translate(src, Protection.READ)
+            src_phys = translate(src, Protection.READ)
             remote_page, remote_off = divmod(dst, page_size)
-            proxy = self.node.nic.opt.proxy_lookup(imported.proxy_ids[remote_page])
+            proxy = proxy_lookup(imported.proxy_ids[remote_page])
             is_last = sent + chunk >= nbytes
             request = TransferRequest(
                 src_phys=src_phys,
@@ -426,9 +446,15 @@ class VMMCEndpoint:
                 last_of_message=is_last,
                 span=span,
             )
+            # Install only the completion event this call will wait on;
+            # the DU engine triggers them when present.
+            if sync_delivered:
+                request.delivered = self.sim.event("du.delivered")
+            elif sync:
+                request.sent = self.sim.event("du.sent")
             # The two-instruction user-level initiation sequence.
-            yield from self.node.cpu.busy(self.params.udma_init_us, "communication")
-            yield from self.node.nic.initiate_du(request)
+            yield from cpu_busy(udma_init_us, "communication")
+            yield from nic.initiate_du(request)
             requests.append(request)
             sent += chunk
 

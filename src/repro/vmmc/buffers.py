@@ -9,15 +9,15 @@ updates or establishes automatic-update bindings (paper section 2.2).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from ..sim import Signal
+from ..sim.ids import RunScopedCounter
 
 __all__ = ["ReceiveBuffer", "ImportedBuffer"]
 
-_buffer_ids = itertools.count(1)
+_buffer_ids = RunScopedCounter(1)
 
 
 class ReceiveBuffer:

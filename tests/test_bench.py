@@ -16,6 +16,16 @@ from repro.bench import (
     select,
     write_bench,
 )
+from repro.bench import (
+    PERF_REGISTRY,
+    PerfResult,
+    load_perf,
+    render_perf,
+    render_perf_comparison,
+    run_perf,
+    select_perf,
+    write_perf,
+)
 from repro.bench.__main__ import main
 from repro.telemetry.critpath import COMPONENTS
 
@@ -221,3 +231,101 @@ def test_cli_compare_fail_on_regression(tmp_path, capsys):
     assert rc == 1
     captured = capsys.readouterr().out
     assert "::warning title=bench regression::du_ping_word" in captured
+
+
+# -- wall-clock perf mode ---------------------------------------------------
+
+
+def test_perf_registry_covers_engine_and_system_families():
+    assert {
+        "engine_ring", "engine_timeouts", "queue_handoff",
+        "resource_contention", "du_ping", "fanin_15",
+    } == set(PERF_REGISTRY)
+    families = {spec.family for spec in PERF_REGISTRY.values()}
+    assert families == {"engine", "system"}
+    assert PERF_REGISTRY["du_ping"].family == "system"
+    with pytest.raises(ValueError, match="no_such_perf"):
+        select_perf(names=["no_such_perf"])
+
+
+def test_perf_runner_returns_timed_result():
+    result = PERF_REGISTRY["engine_ring"].runner(500)
+    assert isinstance(result, PerfResult)
+    assert result.events > 0
+    assert result.elapsed_s > 0
+    assert result.events_per_sec > 0
+    assert result.ops == 500
+
+
+def test_perf_system_runner_counts_packets():
+    result = PERF_REGISTRY["du_ping"].runner(5)
+    assert result.packets > 0
+    assert result.packets_per_sec > 0
+    assert result.sim_time_us > 0
+
+
+@pytest.fixture(scope="module")
+def perf_doc():
+    """A tiny real perf document shared by the read-only perf tests."""
+    return run_perf("t", names=["engine_ring", "du_ping"], repeats=1, quick=True)
+
+
+def test_run_perf_document_shape(perf_doc):
+    assert perf_doc["kind"] == "perf"
+    assert perf_doc["schema"] == 1
+    assert {"python", "implementation", "platform"} <= set(perf_doc["host"])
+    ring = perf_doc["benchmarks"]["engine_ring"]
+    assert ring["family"] == "engine"
+    assert ring["events_per_sec"] > 0
+    assert "packets_per_sec" not in ring
+    ping = perf_doc["benchmarks"]["du_ping"]
+    assert ping["family"] == "system"
+    assert ping["packets_per_sec"] > 0
+
+
+def test_perf_write_load_roundtrip_and_kind_guard(perf_doc, tmp_path):
+    path = tmp_path / "PERF_t.json"
+    write_perf(perf_doc, str(path))
+    assert load_perf(str(path)) == perf_doc
+    # A virtual-time BENCH document must be rejected by the perf loader:
+    # the two regimes are never comparable.
+    bench_path = tmp_path / "BENCH_t.json"
+    bench_path.write_text(json.dumps({"schema": 1, "benchmarks": {}}))
+    with pytest.raises(ValueError, match="not a perf document"):
+        load_perf(str(bench_path))
+
+
+def test_render_perf_and_comparison(perf_doc):
+    table = render_perf(perf_doc)
+    assert "engine_ring" in table and "events/s" in table
+    comparison = render_perf_comparison(perf_doc, perf_doc)
+    assert "1.00x" in comparison
+
+
+def test_cli_perf_writes_perf_file_not_bench(tmp_path, capsys):
+    out = tmp_path / "PERF_ci.json"
+    rc = main([
+        "perf", "--label", "ci", "--quick", "--repeats", "1",
+        "--bench", "engine_ring", "--out", str(out),
+    ])
+    assert rc == 0
+    assert out.exists()
+    doc = load_perf(str(out))
+    assert doc["label"] == "ci" and doc["quick"] is True
+    # The host-dependent mode must never produce BENCH_* artifacts.
+    assert not list(tmp_path.glob("BENCH_*"))
+    assert f"wrote {out}" in capsys.readouterr().out
+
+
+def test_cli_perf_baseline_prints_speedup(tmp_path, capsys):
+    first = tmp_path / "PERF_before.json"
+    second = tmp_path / "PERF_after.json"
+    args = ["perf", "--quick", "--repeats", "1", "--bench", "engine_ring"]
+    assert main(args + ["--label", "before", "--out", str(first)]) == 0
+    capsys.readouterr()
+    rc = main(
+        args
+        + ["--label", "after", "--out", str(second), "--baseline", str(first)]
+    )
+    assert rc == 0
+    assert "Perf speedup: after vs before" in capsys.readouterr().out

@@ -1,0 +1,440 @@
+"""Tests for the fast-path engine internals introduced for throughput.
+
+These pin down the *observable contract* of each optimization — ordering,
+wake-up semantics, object recycling — so later engine work cannot silently
+regress them.  A few tests reach into private attributes on purpose: the
+recycling schemes are internals, and identity checks are the only way to
+prove an allocation was actually avoided.
+"""
+
+import pytest
+
+from repro.sim import (
+    Event,
+    Interrupted,
+    Queue,
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+# -- immediate-queue vs heap ordering --------------------------------------
+
+
+def test_same_time_heap_entry_runs_before_younger_immediate():
+    """A due heap entry with an older seq preempts the immediate deque."""
+    sim = Simulator()
+    ev = Event(sim)
+    order = []
+
+    def a():
+        yield Timeout(0.0)  # heap entry, enqueued first (older seq)
+        order.append("a")
+
+    def b():
+        yield ev
+        order.append("b")
+
+    def driver():
+        ev.succeed()  # immediate entry for b (younger seq than a's)
+        yield Timeout(0.0)  # heap entry, youngest of the three
+        order.append("driver")
+
+    sim.spawn(a(), "a")
+    sim.spawn(b(), "b")
+    sim.spawn(driver(), "driver")
+    sim.run()
+    assert order == ["a", "b", "driver"]
+
+
+def test_immediate_entries_drain_fifo_at_same_time():
+    sim = Simulator()
+    events = [Event(sim) for _ in range(4)]
+    order = []
+
+    def waiter(i):
+        yield events[i]
+        order.append(i)
+
+    def trigger():
+        # Succeed in scrambled order: wake-up follows succeed order, not
+        # waiter spawn order.
+        for i in (2, 0, 3, 1):
+            events[i].succeed()
+        yield Timeout(0.0)
+
+    for i in range(4):
+        sim.spawn(waiter(i), f"w{i}")
+    sim.spawn(trigger(), "trigger")
+    sim.run()
+    assert order == [2, 0, 3, 1]
+
+
+# -- bare-float delay protocol ---------------------------------------------
+
+
+def test_bare_float_yield_is_a_timeout():
+    sim = Simulator()
+    seen = {}
+
+    def proc():
+        value = yield 2.5
+        seen["value"] = value
+        seen["now"] = sim.now
+        yield 0.25
+        seen["later"] = sim.now
+
+    sim.run_process(proc())
+    assert seen["value"] is None
+    assert seen["now"] == 2.5
+    assert seen["later"] == 2.75
+
+
+def test_bare_float_and_timeout_interleave_in_seq_order():
+    sim = Simulator()
+    order = []
+
+    def a():
+        yield 1.0
+        order.append("float")
+
+    def b():
+        yield Timeout(1.0)
+        order.append("timeout")
+
+    sim.spawn(a(), "a")
+    sim.spawn(b(), "b")
+    sim.run()
+    assert order == ["float", "timeout"]
+    assert sim.now == 1.0
+
+
+def test_int_yield_is_still_rejected():
+    sim = Simulator()
+
+    def proc():
+        with pytest.raises(SimulationError):
+            yield 7
+        return "ok"
+
+    assert sim.run_process(proc()) == "ok"
+
+
+def test_timeout_instances_are_reusable():
+    sim = Simulator()
+    tick = Timeout(3.0, value="t")
+
+    def proc():
+        first = yield tick
+        second = yield tick
+        return (first, second, sim.now)
+
+    assert sim.run_process(proc()) == ("t", "t", 6.0)
+
+
+# -- non-suspending resource/queue fast paths ------------------------------
+
+
+def test_uncontended_acquire_completes_without_scheduling():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    before = sim.events_processed
+
+    def proc():
+        yield from res.acquire()
+        held_at = sim.now
+        res.release()
+        return held_at
+
+    assert sim.run_process(proc()) == 0.0
+    # One dispatch for the spawn itself; the acquire added none.
+    assert sim.events_processed - before == 1
+
+
+def test_contended_acquire_waits_for_handoff():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        yield from res.acquire()
+        yield Timeout(5.0)
+        order.append(("holder-release", sim.now))
+        res.release()
+
+    def waiter():
+        yield Timeout(1.0)  # arrive while held
+        yield from res.acquire()
+        order.append(("waiter-acquired", sim.now))
+        res.release()
+
+    sim.spawn(holder(), "holder")
+    sim.spawn(waiter(), "waiter")
+    sim.run()
+    assert order == [("holder-release", 5.0), ("waiter-acquired", 5.0)]
+
+
+def test_resource_gate_event_is_recycled():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def hold(duration):
+        yield from res.acquire()
+        yield Timeout(duration)
+        res.release()
+
+    def contend():
+        yield from res.acquire()
+        res.release()
+
+    sim.spawn(hold(1.0), "h1")
+    sim.spawn(contend(), "c1")
+    sim.run()
+    first_gate = res._spare_gate
+    assert first_gate is not None
+
+    sim.spawn(hold(1.0), "h2")
+    sim.spawn(contend(), "c2")
+    sim.run()
+    # The second contended wait reused the retired gate from the first.
+    assert res._spare_gate is first_gate
+
+
+def test_interrupted_wait_does_not_recycle_queued_gate():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    outcome = {}
+
+    def holder():
+        yield from res.acquire()
+        yield Timeout(10.0)
+        res.release()
+
+    def victim():
+        try:
+            yield from res.acquire()
+        except Interrupted as exc:
+            outcome["cause"] = exc.cause
+
+    sim.spawn(holder(), "holder")
+    victim_proc = sim.spawn(victim(), "victim")
+
+    def interrupter():
+        yield Timeout(1.0)
+        victim_proc.interrupt("bored")
+
+    sim.spawn(interrupter(), "interrupter")
+    sim.run()
+    assert outcome["cause"] == "bored"
+    # The interrupted gate may still sit in the waiter deque; it must not
+    # have been captured for reuse.
+    assert res._spare_gate is None
+
+
+def test_queue_get_fast_path_and_gate_recycling():
+    sim = Simulator()
+    q = Queue(sim)
+    q.put("ready")
+    got = {}
+
+    def fast():
+        got["fast"] = yield from q.get()
+
+    sim.run_process(fast())
+    assert got["fast"] == "ready"
+    assert q._spare_gate is None  # never blocked, no gate ever built
+
+    def slow():
+        got["slow"] = yield from q.get()
+
+    def producer():
+        yield Timeout(2.0)
+        q.put("late")
+
+    sim.spawn(slow(), "slow")
+    sim.spawn(producer(), "producer")
+    sim.run()
+    assert got["slow"] == "late"
+    gate = q._spare_gate
+    assert gate is not None
+
+    sim.spawn(slow(), "slow2")
+    sim.spawn(producer(), "producer2")
+    sim.run()
+    assert q._spare_gate is gate  # recycled, not reallocated
+
+
+def test_signal_ping_pongs_between_two_events():
+    sim = Simulator()
+    sig = Signal(sim, "cond")
+    first = sig._event
+    woken = []
+
+    def round_trip(tag):
+        def waiter():
+            value = yield from sig.wait()
+            woken.append((tag, value))
+
+        def firer():
+            yield Timeout(1.0)
+            sig.fire(tag)
+
+        sim.spawn(waiter(), f"waiter.{tag}")
+        sim.spawn(firer(), f"firer.{tag}")
+        sim.run()
+
+    round_trip("a")
+    second = sig._event
+    assert second is not first
+    round_trip("b")
+    assert sig._event is first  # retired event swapped back in
+    assert woken == [("a", "a"), ("b", "b")]
+
+
+def test_signal_fire_without_waiters_allocates_nothing():
+    sim = Simulator()
+    sig = Signal(sim, "cond")
+    event = sig._event
+    sig.fire("ignored")
+    assert sig._event is event
+    assert sig.fire_count == 1
+
+
+# -- succeed fast paths ----------------------------------------------------
+
+
+def test_succeed_single_waiter_reuses_waiter_list():
+    sim = Simulator()
+    ev = Event(sim)
+    result = {}
+
+    def waiter():
+        result["value"] = yield ev
+
+    sim.spawn(waiter(), "waiter")
+
+    def trigger():
+        waiters = ev._waiters
+        ev.succeed("payload")
+        assert ev._waiters is waiters and not waiters
+        yield Timeout(0.0)
+
+    sim.spawn(trigger(), "trigger")
+    sim.run()
+    assert result["value"] == "payload"
+
+
+def test_succeed_with_no_waiters_keeps_value_for_late_arrivals():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed(42)
+
+    def late():
+        value = yield ev
+        return value
+
+    assert sim.run_process(late()) == 42
+
+
+# -- tombstoned waiter discards --------------------------------------------
+
+
+def test_discard_waiter_tombstones_skip_interrupted_processes():
+    sim = Simulator()
+    ev = Event(sim)
+    woken = []
+
+    def waiter(i):
+        try:
+            value = yield ev
+            woken.append((i, value))
+        except Interrupted:
+            woken.append((i, "interrupted"))
+
+    procs = [sim.spawn(waiter(i), f"w{i}") for i in range(3)]
+
+    def driver():
+        yield Timeout(1.0)
+        procs[1].interrupt()
+        yield Timeout(1.0)
+        ev.succeed("go")
+
+    sim.spawn(driver(), "driver")
+    sim.run()
+    assert sorted(woken) == [(0, "go"), (1, "interrupted"), (2, "go")]
+
+
+def test_discard_waiter_compacts_when_tombstones_dominate():
+    sim = Simulator()
+    ev = Event(sim)
+
+    def waiter():
+        try:
+            yield ev
+        except Interrupted:
+            pass
+
+    procs = [sim.spawn(waiter(), f"w{i}") for i in range(4)]
+    sim.run()  # let everyone block
+    assert len(ev._waiters) == 4
+    procs[0].interrupt()
+    assert ev._discarded is not None and len(ev._discarded) == 1
+    procs[1].interrupt()
+    # Tombstones reached half the list: compacted in place.
+    assert len(ev._waiters) == 2
+    assert not ev._discarded
+    sim.run()
+
+
+def test_rewait_after_interrupt_is_not_shadowed_by_stale_tombstone():
+    sim = Simulator()
+    ev = Event(sim)
+    woken = []
+
+    def stubborn():
+        try:
+            yield ev
+        except Interrupted:
+            pass
+        value = yield ev  # waits again on the same event
+        woken.append(value)
+
+    proc = sim.spawn(stubborn(), "stubborn")
+
+    def driver():
+        yield Timeout(1.0)
+        proc.interrupt()
+        yield Timeout(1.0)
+        ev.succeed("second")
+
+    sim.spawn(driver(), "driver")
+    sim.run()
+    assert woken == ["second"]
+
+
+# -- reprs and introspection (debuggability satellites) ---------------------
+
+
+def test_timeout_repr_includes_value():
+    assert repr(Timeout(2.5)) == "Timeout(2.5)"
+    assert repr(Timeout(2.5, value="x")) == "Timeout(2.5, value='x')"
+
+
+def test_queue_repr_and_queue_length():
+    sim = Simulator()
+    q = Queue(sim, "mailbox")
+    q.put(1)
+    q.put(2)
+    assert q.queue_length == 2
+    assert repr(q) == "Queue('mailbox', 2 queued, 0 waiting)"
+
+
+def test_resource_repr_and_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=2, name="bus")
+    assert res.try_acquire()
+    assert res.queue_length == 0
+    assert repr(res) == "Resource('bus', 1/2 in use, 0 waiting)"

@@ -243,3 +243,27 @@ def test_backplane_statistics():
     sim.run_process(send())
     assert bp.packets_delivered == 1
     assert bp.bytes_delivered == 12
+
+
+def test_route_cache_matches_fresh_xy_route_for_all_pairs():
+    """Every cached route equals a freshly computed XY route (256 pairs)."""
+    sim = Simulator()
+    bp = Backplane(sim, DEFAULT_PARAMS)
+    num_nodes = bp.num_nodes
+    assert num_nodes == 16  # the default 4x4 mesh: 256 (src, dst) pairs
+    fresh_topology = MeshTopology(
+        DEFAULT_PARAMS.mesh_width, DEFAULT_PARAMS.mesh_height
+    )
+    for src in range(num_nodes):
+        for dst in range(num_nodes):
+            if src == dst:
+                assert (src, dst) not in bp._routes
+                continue
+            path, links, ejection, base_latency = bp._routes[(src, dst)]
+            expected = fresh_topology.xy_route(src, dst)
+            assert path == expected
+            # The cached handles are the very Resource objects the link and
+            # ejection tables hold — not copies.
+            assert links == tuple(bp.link(link_id) for link_id in expected)
+            assert ejection is bp._ejection[dst]
+            assert base_latency == len(expected) * DEFAULT_PARAMS.router_hop_us
