@@ -20,6 +20,7 @@ See ``examples/quickstart.py`` for a complete program.
 
 from .faults import FaultConfig, FaultPlan
 from .hardware import DEFAULT_PARAMS, MachineParams
+from .monitor import HealthMonitor, MonitorConfig, Postmortem
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
 from .sim import Simulator, Timeout
@@ -49,6 +50,9 @@ __all__ = [
     "ReliableChannel",
     "ReliableConfig",
     "DeliveryFailed",
+    "HealthMonitor",
+    "MonitorConfig",
+    "Postmortem",
     "Simulator",
     "Telemetry",
     "Timeout",

@@ -1,0 +1,229 @@
+"""Health-monitoring demos: ``python -m repro.monitor <scenario>``.
+
+Each scenario arms the health monitor, drives a fault-injected workload to
+a failure the paper's methodology cares about, and prints the monitor's
+trip report plus the rendered postmortem.  ``--out`` writes the full
+postmortem (trips, wait-for state, flight-recorder tail) as JSON.
+
+Scenarios:
+
+* ``outage`` — a permanent link outage under a reliable channel: the
+  retransmit storm trips, the channel fails with ``DeliveryFailed``, and
+  the postmortem names the dead link and the still-blocked receiver.
+* ``overflow`` — many-to-one traffic into a small receive FIFO with
+  overflow-discard (the commodity-switch behavior): ``rx_overflow`` trips
+  on the first discarded packet.
+* ``fanin`` — the paper's 15-to-1 contention collapse with wormhole
+  backpressure: receive-watermark and wait-queue-depth trips as senders
+  pile up behind the ejection channel.
+
+Examples::
+
+    python -m repro.monitor outage --out postmortem.json
+    python -m repro.monitor fanin --events 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import MonitorConfig
+
+#: Virtual time at which the outage scenario's link goes (permanently) dark.
+OUTAGE_AT_US = 1_000.0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.monitor",
+        description="Drive a fault scenario with the health monitor armed.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=("outage", "overflow", "fanin"),
+        help="which failure to inject and diagnose",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1998, help="deterministic seed"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the postmortem dump as JSON to FILE",
+    )
+    parser.add_argument(
+        "--events", type=int, default=12,
+        help="flight-recorder events to show in the report (default: 12)",
+    )
+    return parser
+
+
+def _demo_outage(seed: int):
+    """A reliable stream hits a permanently dead link mid-transfer."""
+    from ..faults import FaultConfig, FaultPlan
+    from ..node import Machine
+    from ..vmmc import DeliveryFailed, ReliableConfig, VMMCRuntime
+
+    machine = Machine(num_nodes=2, seed=seed)
+    monitor = machine.enable_monitor(
+        MonitorConfig(
+            check_interval_us=100.0,
+            stall_timeout_us=2_000.0,
+            retx_window_us=5_000.0,
+            retx_storm_rounds=3,
+        )
+    )
+    # An empty fault config samples no random events; the outage window is
+    # pinned by hand so the demo kills a *known* link deterministically.
+    plan = FaultPlan(FaultConfig(), seed)
+    machine.install_fault_plan(plan)
+    plan.outages[(0, 1)] = [(OUTAGE_AT_US, float("inf"))]
+
+    vmmc = VMMCRuntime(machine)
+    sender = vmmc.endpoint(machine.create_process(0))
+    receiver = vmmc.endpoint(machine.create_process(1))
+    nbytes = 2048
+
+    def rx():
+        buffer = yield from receiver.export(nbytes, name="outage.buf")
+        # Expects two messages; the second dies with the link, so this
+        # wait is still blocked when the run ends — postmortem material.
+        yield from receiver.wait_bytes(buffer, 2 * nbytes)
+
+    def tx():
+        imported = yield from sender.import_buffer("outage.buf")
+        channel = sender.open_reliable(
+            imported, ReliableConfig(timeout_us=200.0, max_retries=4)
+        )
+        src = sender.alloc(nbytes)
+        sender.poke(src, bytes(range(256)) * (nbytes // 256))
+        yield from channel.send(src, nbytes)  # completes before the outage
+        yield OUTAGE_AT_US + 100.0 - machine.sim.now
+        yield from channel.send(src, nbytes)  # dies on the dead link
+
+    machine.sim.spawn(rx(), "outage.rx")
+    machine.sim.spawn(tx(), "outage.tx")
+    error = None
+    try:
+        machine.sim.run()
+    except DeliveryFailed as exc:
+        error = exc
+    print(f"run ended at t={machine.sim.now:.1f}us; DeliveryFailed: {error}")
+    return machine, monitor
+
+
+def _demo_overflow(seed: int):
+    """Fan-in into a small receive FIFO that discards on overflow."""
+    from ..faults import FaultConfig
+    from ..hardware import DEFAULT_PARAMS
+    from ..node import Machine
+    from ..vmmc import VMMCRuntime
+
+    machine = Machine(
+        num_nodes=16,
+        seed=seed,
+        params=DEFAULT_PARAMS.with_overrides(rx_fifo_bytes=4096),
+        fault_config=FaultConfig(rx_overflow_discard=True),
+    )
+    monitor = machine.enable_monitor(MonitorConfig(check_interval_us=50.0))
+    _fan_in(machine, nbytes=1024)
+    machine.sim.run()
+    drops = machine.stats.counter_value("fault.rx_overflow_drops")
+    print(
+        f"run ended at t={machine.sim.now:.1f}us; "
+        f"{drops} packet(s) discarded by receive-FIFO overflow"
+    )
+    return machine, monitor
+
+
+def _demo_fanin(seed: int):
+    """The paper's 15-to-1 contention collapse under wormhole backpressure."""
+    from ..hardware import DEFAULT_PARAMS
+    from ..node import Machine
+
+    machine = Machine(
+        num_nodes=16,
+        seed=seed,
+        params=DEFAULT_PARAMS.with_overrides(rx_fifo_bytes=4096),
+    )
+    monitor = machine.enable_monitor(
+        MonitorConfig(check_interval_us=25.0, wait_queue_watermark=6)
+    )
+    # Small messages pack the receive FIFO near capacity (rx_watermark);
+    # the serialized commit section queues all 15 senders on one lock
+    # (wait_queue_depth) — the paper's many-to-one contention signature.
+    _fan_in(machine, nbytes=256, commit_lock=True)
+    machine.sim.run()
+    print(
+        f"run ended at t={machine.sim.now:.1f}us; "
+        f"{machine.stats.counter_value('rx.backpressure')} backpressure "
+        f"stall(s) at the receiver"
+    )
+    return machine, monitor
+
+
+def _fan_in(machine, nbytes: int, commit_lock: bool = False) -> None:
+    """Every other node streams ``nbytes`` x4 into node 0 concurrently.
+
+    With ``commit_lock`` each sender finishes by updating a shared
+    completion record under one machine-wide lock, so all 15 senders
+    queue on a single Resource — the wait-queue-depth signature.
+    """
+    from ..sim import Resource
+    from ..vmmc import VMMCRuntime
+
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(0))
+    senders = [
+        vmmc.endpoint(machine.create_process(node))
+        for node in range(1, machine.num_nodes)
+    ]
+    total = nbytes * 4 * len(senders)
+    lock = Resource(machine.sim, name="fanin.commit") if commit_lock else None
+
+    def rx():
+        yield from receiver.export(total, name="fanin.buf")
+
+    def tx(endpoint, index):
+        imported = yield from endpoint.import_buffer("fanin.buf")
+        src = endpoint.alloc(nbytes)
+        endpoint.poke(src, bytes(nbytes))
+        offset = index * 4 * nbytes
+        for burst in range(4):
+            yield from endpoint.send(
+                imported, src, nbytes, dst_offset=offset + burst * nbytes
+            )
+        if lock is not None:
+            yield from lock.acquire()
+            yield 100.0  # serialized completion-record update
+            lock.release()
+
+    machine.sim.spawn(rx(), "fanin.rx")
+    machine.start()  # NIC engines must run before the senders pile in
+    machine.sim.run()  # let the export land
+    for index, endpoint in enumerate(senders):
+        machine.sim.spawn(tx(endpoint, index), f"fanin.tx{index + 1}")
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    demo = {
+        "outage": _demo_outage,
+        "overflow": _demo_overflow,
+        "fanin": _demo_fanin,
+    }[args.scenario]
+    machine, monitor = demo(args.seed)
+
+    print()
+    print(monitor.report())
+    postmortem = monitor.postmortem()
+    print()
+    print(postmortem.render(events=args.events))
+    if args.out:
+        postmortem.write_json(args.out)
+        print(f"\nwrote postmortem dump: {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

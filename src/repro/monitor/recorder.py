@@ -1,0 +1,82 @@
+"""The flight recorder: a bounded ring over the telemetry event stream.
+
+Registered as a plain :meth:`~repro.telemetry.Telemetry.add_sink` sink, so
+it sees every event the collector emits — including events past the
+collector's own buffer limit — while holding only the trailing window.
+When the monitor trips, the ring is snapshotted into the trip record: the
+postmortem carries the last N things the machine did before it wedged,
+which is usually exactly the storm/overflow/backpressure sequence that
+caused the trip.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from ..telemetry.events import TelemetryEvent
+
+__all__ = ["FlightRecorder", "events_to_json"]
+
+
+def events_to_json(events: List[TelemetryEvent]) -> List[dict]:
+    """JSON-serializable form of a telemetry event list (order preserved)."""
+    return [
+        {
+            "phase": e.phase,
+            "name": e.name,
+            "time": e.time,
+            "node": e.node,
+            "track": e.track,
+            "span_id": e.span_id,
+            "parent_id": e.parent_id,
+            "args": {k: repr(v) for k, v in e.args.items()},
+        }
+        for e in events
+    ]
+
+
+class FlightRecorder:
+    """A fixed-size ring of the most recent telemetry events."""
+
+    def __init__(self, size: int = 256):
+        if size < 1:
+            raise ValueError("flight recorder size must be >= 1")
+        self.size = size
+        self._ring: deque = deque(maxlen=size)
+        #: Total events ever seen (so dumps can say how much history the
+        #: ring has discarded).
+        self.total_events = 0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        """The sink entry point: record one event."""
+        self.total_events += 1
+        self._ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> List[TelemetryEvent]:
+        """The ring's contents, oldest first."""
+        return list(self._ring)
+
+    def dump(self, limit: int = 0) -> str:
+        """A human-readable rendering of the trailing events."""
+        events = self.snapshot()
+        if limit and len(events) > limit:
+            events = events[-limit:]
+        discarded = self.total_events - len(self._ring)
+        lines = [
+            f"flight recorder: last {len(events)} of {self.total_events} "
+            f"telemetry events ({discarded} older events discarded)"
+        ]
+        for event in events:
+            lines.append(
+                f"  [{event.time:12.3f}us] n{event.node:<2} "
+                f"{event.phase} {event.name} {event.describe()}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> List[dict]:
+        """JSON-serializable form of the ring (oldest first)."""
+        return events_to_json(self.snapshot())

@@ -132,7 +132,7 @@ class NXRank:
         for src in others:
             yield from self._receivers[src].connect()
             self.sim.spawn(
-                self._listener(src), f"nx{self.rank}.listen.{src}"
+                self._listener(src), f"nx{self.rank}.listen.{src}", daemon=True
             )
         # Synchronization notifications need no handler work: the library
         # polls for data; the control transfer itself is the cost.

@@ -86,6 +86,7 @@ class RPCServer:
             self.runtime.sim.spawn(
                 self._service_loop(endpoint, rx, tx),
                 f"rpc.{service}.{client_id}",
+                daemon=True,
             )
 
     def _service_loop(self, endpoint, rx: RingReceiver, tx: RingSender) -> Generator:

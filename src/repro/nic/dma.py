@@ -95,7 +95,9 @@ class DeliberateUpdateEngine:
 
     def start(self) -> None:
         if self._process is None:
-            self._process = self.sim.spawn(self._run(), f"du-engine{self.node_id}")
+            self._process = self.sim.spawn(
+                self._run(), f"du-engine{self.node_id}", daemon=True
+            )
 
     @property
     def queue_depth(self) -> int:

@@ -78,6 +78,11 @@ class OutgoingFIFO:
         self.fill_bytes = new_fill
         self.max_fill = max(self.max_fill, new_fill)
         self._record_fill()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            # Synchronous watermark check: a burst that fills and drains
+            # between the monitor's sampled scans is still caught here.
+            monitor.note_fifo_fill(self, new_fill)
         if not self.over_threshold and new_fill > self.threshold:
             self.over_threshold = True
             self.threshold_interrupts += 1

@@ -119,9 +119,11 @@ class ShrimpNIC:
             return
         self._started = True
         self.du.start()
-        self.sim.spawn(self._drain_fifo(), f"fifo-drain{self.node_id}")
-        self.sim.spawn(self._receive_engine(), f"rx-engine{self.node_id}")
-        self.sim.spawn(self._delivery_pipeline(), f"delivery{self.node_id}")
+        self.sim.spawn(self._drain_fifo(), f"fifo-drain{self.node_id}", daemon=True)
+        self.sim.spawn(self._receive_engine(), f"rx-engine{self.node_id}", daemon=True)
+        self.sim.spawn(
+            self._delivery_pipeline(), f"delivery{self.node_id}", daemon=True
+        )
 
     def add_delivery_hook(self, hook: DeliveryHook) -> None:
         self._delivery_hooks.append(hook)
@@ -241,6 +243,9 @@ class ShrimpNIC:
             # arrival instead of exerting wormhole backpressure.
             self.stats.count("fault.rx_overflow_drops")
             self.stats.trace("fault.rx_overflow", self.node_id, repr(packet))
+            monitor = self.sim.monitor
+            if monitor is not None:
+                monitor.note_rx_overflow(self.node_id, packet)
             return
         while self._rx_fill + size > capacity:
             self.stats.count("rx.backpressure")

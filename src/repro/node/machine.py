@@ -87,6 +87,9 @@ class Machine:
         self.telemetry = None
         if telemetry:
             self.enable_telemetry()
+        #: The installed health monitor (None: no monitoring, zero
+        #: overhead — one predicate check per hook site).
+        self.monitor = None
         self._started = False
 
     def enable_telemetry(self, limit: int = 1_000_000):
@@ -108,6 +111,24 @@ class Machine:
             self.stats.telemetry = self.telemetry
             self.sim.telemetry = self.telemetry
         return self.telemetry
+
+    def enable_monitor(self, config=None):
+        """Install (or return) the machine's health monitor.
+
+        Arms the watchdogs (process-stall and livelock detection) and
+        invariant monitors (FIFO watermarks, wait-queue depth, retransmit
+        storms, link saturation) described in DESIGN.md section 12, plus a
+        flight recorder over the telemetry stream — enabling telemetry if
+        it is not armed yet.  Like telemetry, the monitor only observes:
+        it consumes no virtual time and cannot change what the simulated
+        machine does.  Install before the first ``sim.run()`` (the run
+        loop hoists the handle).  ``config`` applies only on first call.
+        """
+        if self.monitor is None:
+            from ..monitor import HealthMonitor
+
+            self.monitor = HealthMonitor(self, config)
+        return self.monitor
 
     def install_fault_plan(self, plan) -> None:
         """Bind ``plan`` to this machine and arm every injection site."""

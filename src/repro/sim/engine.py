@@ -218,14 +218,22 @@ class SimProcess:
         "_joiners",
         "_waiting_on",
         "_resume_scheduled",
+        "daemon",
         "telemetry_stack",
     )
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(
+        self, sim: "Simulator", gen: Generator, name: str = "", daemon: bool = False
+    ):
         self.sim = sim
         self.gen = gen
         self._send = gen.send
         self.name = name or getattr(gen, "__name__", "process")
+        #: Daemon processes are service loops (NIC engines, dispatchers)
+        #: for which waiting forever on an empty work queue is the normal
+        #: idle state: deadlock reports list them separately and the health
+        #: monitor's stall detector ignores them.
+        self.daemon = daemon
         self.done = False
         self.result: Any = None
         self._joiners: list[SimProcess] = []
@@ -283,6 +291,15 @@ class Simulator:
         self.current: Optional[SimProcess] = None
         #: Installed by Machine.enable_telemetry; None costs one predicate.
         self.telemetry = None
+        #: Installed by Machine.enable_monitor; None costs one predicate on
+        #: the run loop's heap branch and per 16 K immediate dispatches.
+        #: Must be installed before ``run`` is entered (the loop hoists it).
+        self.monitor = None
+        #: Every spawned process, pruned of finished ones as it grows; the
+        #: registry is what lets deadlock reports and the health monitor
+        #: enumerate still-blocked processes.
+        self._processes: list = []
+        self._prune_at = 64
 
     # -- scheduling primitives ------------------------------------------
 
@@ -297,16 +314,26 @@ class Simulator:
     def event(self, name: str = "") -> Event:
         return Event(self, name)
 
-    def spawn(self, gen: Generator, name: str = "") -> SimProcess:
-        """Start a new process from a generator; it begins at the current time."""
+    def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> SimProcess:
+        """Start a new process from a generator; it begins at the current time.
+
+        ``daemon=True`` marks a long-lived service loop whose idle wait on
+        an empty work queue is expected: deadlock diagnostics summarize
+        daemons instead of listing them, and stall detection skips them.
+        """
         if not hasattr(gen, "send"):
             raise SimulationError(
                 f"spawn() needs a generator, got {type(gen).__name__}; "
                 "did you forget to call the process function?"
             )
-        proc = SimProcess(self, gen, name)
+        proc = SimProcess(self, gen, name, daemon)
         if self.telemetry is not None:
             self.telemetry.instant("sim.spawn", -1, "sim", proc=proc.name)
+        procs = self._processes
+        procs.append(proc)
+        if len(procs) >= self._prune_at:
+            self._processes = procs = [p for p in procs if not p.done]
+            self._prune_at = max(64, 2 * len(procs))
         self._immediate.append((next(self._seq), proc, None, None))
         return proc
 
@@ -410,6 +437,9 @@ class Simulator:
         pop = heapq.heappop
         popleft = immediate.popleft
         seq_counter = self._seq
+        # Health monitor, hoisted like the queues: None costs one local
+        # check on the heap branch and one per 16 K immediate dispatches.
+        monitor = self.monitor
         dispatched = 0
         # Local mirror of the clock: only this loop ever writes ``self.now``,
         # so the mirror is kept exact by updating both together.
@@ -431,6 +461,11 @@ class Simulator:
                             continue
                     _seq, proc, value, exc = popleft()
                     dispatched += 1
+                    if monitor is not None and (dispatched & 16383) == 0:
+                        # Livelock sentinel: fires on dispatch count, so a
+                        # storm spinning at one instant (which never pops
+                        # the heap) is still observed.
+                        monitor._event_tick(now, dispatched)
                     # The step body is fused inline here (and in the heap
                     # branch below): one Python call per event is a
                     # measurable share of the loop at this event rate.
@@ -491,6 +526,10 @@ class Simulator:
                     raise SimulationError("event queue went backwards in time")
                 self.now = now = time
                 dispatched += 1
+                if monitor is not None and time >= monitor._next_check:
+                    # Virtual-time watchdog tick: stall scans and sampled
+                    # invariant checks run here, outside virtual time.
+                    monitor._time_tick(time, dispatched)
                 if fn is not None:
                     fn()
                     continue
@@ -540,15 +579,63 @@ class Simulator:
             self.events_processed += dispatched
         return self.now
 
+    # -- introspection ---------------------------------------------------
+
+    def live_processes(self) -> list:
+        """Every spawned process that has not finished yet."""
+        return [p for p in self._processes if not p.done]
+
+    def blocked_processes(self) -> list:
+        """``(process, description)`` for each live process's wait state.
+
+        Event waits (including Resource/Queue/Signal gates, which carry
+        their primitive's name) come from ``_waiting_on``; join waits
+        (``yield child``) are recovered by scanning the join lists of the
+        other live processes.  A live process with neither is scheduled
+        (sleeping in the heap or already runnable), not blocked.
+        """
+        live = self.live_processes()
+        join_target: dict = {}
+        for target in live:
+            for waiter in target._joiners:
+                join_target[id(waiter)] = target
+        report = []
+        for proc in live:
+            event = proc._waiting_on
+            if event is not None:
+                desc = f"event {event.name!r}" if event.name else "an unnamed event"
+            else:
+                target = join_target.get(id(proc))
+                if target is not None:
+                    desc = f"join of process {target.name!r}"
+                else:
+                    desc = "no recorded wait (scheduled or interrupted)"
+            report.append((proc, desc))
+        return report
+
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Spawn a process, run to completion, and return its result."""
         proc = self.spawn(gen, name)
         self.run()
         if not proc.done:
-            raise SimulationError(
-                f"process {proc.name!r} did not finish (deadlock: "
-                "event queue drained with the process still waiting)"
+            blocked = self.blocked_processes()
+            workers = [(p, desc) for p, desc in blocked if not p.daemon]
+            daemons = [p for p, _desc in blocked if p.daemon]
+            detail = "".join(
+                f"\n  - {p.name!r} waiting on {desc}" for p, desc in workers
             )
+            if daemons:
+                names = ", ".join(p.name for p in daemons)
+                detail += (
+                    f"\n  (+{len(daemons)} idle service process(es): {names})"
+                )
+            exc = SimulationError(
+                f"process {proc.name!r} did not finish (deadlock: event "
+                f"queue drained with {len(blocked)} process(es) still "
+                f"waiting){detail}"
+            )
+            exc.blocked = blocked
+            raise exc
         return proc.result
 
     def stop(self) -> None:

@@ -15,9 +15,10 @@ from __future__ import annotations
 import itertools
 from typing import List
 
-__all__ = ["RunScopedCounter", "reset_run_counters"]
+__all__ = ["RunScopedCounter", "RunScopedRegistry", "reset_run_counters"]
 
-_COUNTERS: List["RunScopedCounter"] = []
+#: Everything with a ``reset()`` method rewound at Machine construction.
+_COUNTERS: List = []
 
 
 class RunScopedCounter:
@@ -40,6 +41,34 @@ class RunScopedCounter:
 
     def reset(self) -> None:
         self._it = itertools.count(self._start)
+
+
+class RunScopedRegistry:
+    """A per-run collection of objects, cleared when a fresh Machine is built.
+
+    Used by :mod:`repro.sim.resources` to keep the set of live
+    synchronization primitives enumerable, so postmortem tooling
+    (:mod:`repro.monitor`) can walk "every named Resource/Queue/Signal"
+    without the primitives carrying back-references to a machine.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self):
+        self._items: List = []
+        _COUNTERS.append(self)
+
+    def add(self, obj) -> None:
+        self._items.append(obj)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def reset(self) -> None:
+        self._items.clear()
 
 
 def reset_run_counters() -> None:

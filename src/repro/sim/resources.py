@@ -26,8 +26,23 @@ from collections import deque
 from typing import Any, Deque, Generator, Iterator, Optional
 
 from .engine import Event, SimulationError, Simulator
+from .ids import RunScopedCounter, RunScopedRegistry
 
 __all__ = ["Resource", "Queue", "Signal"]
+
+#: Anonymous-instance numbering (``resource#7`` style).  The counters are
+#: run-scoped — rewound whenever a Machine is built — so same-seed runs
+#: produce identical names even though the names leak into reprs, wait-for
+#: reports and deadlock messages.  Explicitly named instances never consume
+#: a number.
+_anon_resource_ids = RunScopedCounter(1)
+_anon_queue_ids = RunScopedCounter(1)
+_anon_signal_ids = RunScopedCounter(1)
+
+#: Every live Resource/Queue/Signal of the current run, in creation order.
+#: Walked by :mod:`repro.monitor` to build wait-for graphs and watermark
+#: samples; cleared when a fresh Machine is built.
+PRIMITIVES = RunScopedRegistry()
 
 #: Shared exhausted iterator: ``yield from _COMPLETED`` finishes
 #: immediately with value None and allocates nothing.
@@ -55,6 +70,8 @@ class Resource:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        if not name:
+            name = f"resource#{next(_anon_resource_ids)}"
         self.name = name
         self._gate_name = f"{name}.acquire"
         self._in_use = 0
@@ -64,6 +81,10 @@ class Resource:
         # Cumulative busy statistics (single-capacity resources only).
         self.busy_time = 0.0
         self._busy_since: Optional[float] = None
+        #: Best-effort holder list, maintained only while a health monitor
+        #: is installed (None otherwise; see _note_hold/_drop_hold).
+        self._holders: Optional[list] = None
+        PRIMITIVES.add(self)
 
     @property
     def in_use(self) -> int:
@@ -84,6 +105,8 @@ class Resource:
             if self._in_use == 0:
                 self._busy_since = self.sim.now
             self._in_use += 1
+            if self.sim.monitor is not None:
+                self._note_hold()
             return _COMPLETED
         return self._acquire_wait()
 
@@ -102,6 +125,8 @@ class Resource:
         self._waiters.append(gate)
         yield gate
         self._spare_gate = gate
+        if self.sim.monitor is not None:
+            self._note_hold()
 
     def try_acquire(self) -> bool:
         """Acquire without waiting; returns False when fully in use.
@@ -118,12 +143,16 @@ class Resource:
             if self._in_use == 0:
                 self._busy_since = self.sim.now
             self._in_use += 1
+            if self.sim.monitor is not None:
+                self._note_hold()
             return True
         return False
 
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        if self.sim.monitor is not None:
+            self._drop_hold()
         waiters = self._waiters
         if waiters:
             # Hand the unit straight to the next waiter: the in-use count
@@ -139,6 +168,39 @@ class Resource:
         if self._in_use == 0:
             self._busy_since = self.sim.now
         self._in_use += 1
+        if self.sim.monitor is not None:
+            self._note_hold()
+
+    # -- holder bookkeeping (health-monitor support) ---------------------
+    # The holder list exists only so a postmortem wait-for graph can name
+    # who blocks whom.  It is best-effort (a unit acquired before the
+    # monitor was installed has no recorded holder) and is maintained
+    # strictly outside virtual time, so enabling it cannot perturb a run.
+
+    def _note_hold(self) -> None:
+        proc = self.sim.current
+        if proc is None:
+            return
+        holders = self._holders
+        if holders is None:
+            holders = self._holders = []
+        holders.append(proc)
+
+    def _drop_hold(self) -> None:
+        holders = self._holders
+        if holders:
+            proc = self.sim.current
+            try:
+                holders.remove(proc)
+            except ValueError:
+                # Released by a different process (or acquired before the
+                # monitor existed): drop the stalest record instead.
+                del holders[0]
+
+    @property
+    def holders(self) -> list:
+        """Processes currently recorded as holding a unit (monitor only)."""
+        return list(self._holders or ())
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` time the resource was busy."""
@@ -164,12 +226,15 @@ class Queue:
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
+        if not name:
+            name = f"queue#{next(_anon_queue_ids)}"
         self.name = name
         self._gate_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._spare_gate: Optional[Event] = None
         self.total_put = 0
+        PRIMITIVES.add(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -238,6 +303,8 @@ class Signal:
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
+        if not name:
+            name = f"signal#{next(_anon_signal_ids)}"
         self.name = name
         self._event = sim.event(name)
         # The previously fired event, kept for reuse: by the next fire all
@@ -245,6 +312,7 @@ class Signal:
         # swapped back in (ping-pong between two Event objects).
         self._retired: Optional[Event] = None
         self.fire_count = 0
+        PRIMITIVES.add(self)
 
     def wait(self) -> Generator:
         event = self._event
@@ -267,3 +335,13 @@ class Signal:
             self._retired = event
             self._event = fresh
             event.succeed(value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._event._waiters)
+
+    def __repr__(self) -> str:
+        return (
+            f"Signal({self.name!r}, {self.waiter_count} waiting, "
+            f"fired {self.fire_count}x)"
+        )

@@ -46,7 +46,9 @@ class NotificationDispatcher:
         self._handler = handler
         if self._process is None:
             self._process = self.sim.spawn(
-                self._dispatch_loop(), f"notif-dispatch{self.node_id}.{self.pid}"
+                self._dispatch_loop(),
+                f"notif-dispatch{self.node_id}.{self.pid}",
+                daemon=True,
             )
 
     # -- kernel side --------------------------------------------------------

@@ -12,6 +12,7 @@ the benchmark baselines.
 
 from repro import Machine
 from repro.faults import FaultConfig
+from repro.monitor import MonitorConfig
 from repro.telemetry import critpath
 from repro.vmmc import ReliableConfig, VMMCRuntime
 
@@ -22,7 +23,7 @@ def _telemetry_streams(machine):
     return tel.spans(), tel.instants()
 
 
-def _run_lossy_reliable(seed):
+def _run_lossy_reliable(seed, monitor=False):
     """A reliable stream over a 15%-drop fabric: retransmission timers,
     ack control traffic and fault fates all in play."""
     nbytes = 4096
@@ -33,6 +34,11 @@ def _run_lossy_reliable(seed):
         telemetry=True,
         fault_config=FaultConfig(drop_rate=0.15),
     )
+    if monitor:
+        # A twitchy config so the run actually records trips.
+        machine.enable_monitor(
+            MonitorConfig(retx_storm_rounds=2, retx_window_us=10_000.0)
+        )
     vmmc = VMMCRuntime(machine)
     receiver = vmmc.endpoint(machine.create_process(0))
     sender = vmmc.endpoint(machine.create_process(1))
@@ -92,6 +98,67 @@ def test_suite_app_run_is_deterministic():
     first = _run_suite_app(seed=7)
     second = _run_suite_app(seed=7)
     _assert_identical(first, second)
+
+
+def _span_shapes(machine):
+    """Spans projected without ids: the monitor's trip instants consume
+    span-id numbers, so id-free shapes are what an observing monitor must
+    leave untouched."""
+    return [
+        (s.name, s.node, s.track, s.start, s.end)
+        for s in machine.telemetry.spans()
+    ]
+
+
+def test_monitored_lossy_run_is_deterministic():
+    first = _run_lossy_reliable(seed=2024, monitor=True)
+    second = _run_lossy_reliable(seed=2024, monitor=True)
+    # Sanity: the monitor saw something, so trip bookkeeping is exercised.
+    assert first.monitor.tripped("retx_storm")
+    assert [repr(t) for t in first.monitor.trips] == [
+        repr(t) for t in second.monitor.trips
+    ]
+    assert first.monitor.trip_counts == second.monitor.trip_counts
+    _assert_identical(first, second)
+
+
+def test_monitor_observation_does_not_perturb_the_run():
+    """The monitor observes only: a monitored run takes the exact same
+    virtual-time trajectory as an unmonitored one."""
+    plain = _run_lossy_reliable(seed=2024, monitor=False)
+    watched = _run_lossy_reliable(seed=2024, monitor=True)
+    assert plain.sim.now == watched.sim.now
+    assert plain.sim.events_processed == watched.sim.events_processed
+    assert plain.stats.snapshot() == watched.stats.snapshot()
+    assert _span_shapes(plain) == _span_shapes(watched)
+    # The only telemetry the monitor adds is its own trip instants.
+    plain_instants = [
+        (e.name, e.time, e.node) for e in plain.telemetry.instants()
+    ]
+    watched_instants = [
+        (e.name, e.time, e.node)
+        for e in watched.telemetry.instants()
+        if e.name != "monitor.trip"
+    ]
+    assert plain_instants == watched_instants
+
+
+def test_monitor_off_clean_run_is_byte_identical():
+    """With no trips, arming the monitor adds nothing at all to the
+    telemetry record — the streams compare equal including span ids."""
+    plain = _run_suite_app(seed=7)
+    watched_machine = Machine(4, seed=7, telemetry=True)
+    watched_machine.enable_monitor()
+    from repro.apps.radix_vmmc import RadixVMMC
+    from repro.apps.base import run_app
+
+    run_app(
+        RadixVMMC(mode="du", n_keys=2048, max_key=1024),
+        4,
+        machine=watched_machine,
+    )
+    assert watched_machine.monitor.healthy
+    _assert_identical(plain, watched_machine)
 
 
 def test_critical_path_attribution_is_deterministic():
