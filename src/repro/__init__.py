@@ -23,6 +23,7 @@ from .hardware import DEFAULT_PARAMS, MachineParams
 from .monitor import HealthMonitor, MonitorConfig, Postmortem
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
+from .serve import ServeCluster, ServeConfig, SloReport
 from .sim import Simulator, Timeout
 from .telemetry import Telemetry
 from .vmmc import (
@@ -33,7 +34,7 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Machine",
@@ -53,6 +54,9 @@ __all__ = [
     "HealthMonitor",
     "MonitorConfig",
     "Postmortem",
+    "ServeCluster",
+    "ServeConfig",
+    "SloReport",
     "Simulator",
     "Telemetry",
     "Timeout",

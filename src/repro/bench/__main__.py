@@ -62,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only NAME (repeatable; overrides --quick selection)",
     )
     run.add_argument(
+        "--suite", default="seed", metavar="SUITE",
+        help="benchmark suite to run (default: seed; e.g. serve)",
+    )
+    run.add_argument(
         "--out", default=None, metavar="FILE",
         help="output path (default: BENCH_<label>.json in the cwd)",
     )
@@ -125,6 +129,7 @@ def _cmd_run(args) -> int:
         seeds=seeds,
         names=args.bench,
         log=lambda line: print(line, file=sys.stderr),
+        suite=args.suite,
     )
     path = args.out or f"BENCH_{args.label}.json"
     write_bench(doc, path)

@@ -56,6 +56,11 @@ class BenchSpec:
     #: Included in the --quick subset (CI-sized).
     quick: bool = True
     description: str = ""
+    #: Which benchmark suite the spec belongs to.  The default selection
+    #: runs only the ``"seed"`` suite, so the committed ``BENCH_seed.json``
+    #: baseline stays byte-identical as new suites (e.g. ``"serve"``) are
+    #: added; select others with ``--suite``.
+    suite: str = "seed"
 
 
 #: name -> spec, in registration order (dicts preserve it).
@@ -70,9 +75,15 @@ def register(spec: BenchSpec) -> BenchSpec:
 
 
 def select(
-    names: Optional[Sequence[str]] = None, quick: bool = False
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    suite: str = "seed",
 ) -> List[BenchSpec]:
-    """The benchmarks to run, validating any explicit name list."""
+    """The benchmarks to run, validating any explicit name list.
+
+    An explicit ``names`` list overrides the suite filter; otherwise only
+    specs of ``suite`` are selected.
+    """
     from . import workloads  # noqa: F401  (populates REGISTRY on import)
 
     if names:
@@ -82,7 +93,10 @@ def select(
                 f"unknown benchmarks {unknown}; choose from {sorted(REGISTRY)}"
             )
         return [REGISTRY[n] for n in names]
-    specs = list(REGISTRY.values())
+    specs = [s for s in REGISTRY.values() if s.suite == suite]
+    if not specs:
+        suites = sorted({s.suite for s in REGISTRY.values()})
+        raise ValueError(f"unknown suite {suite!r}; choose from {suites}")
     if quick:
         specs = [s for s in specs if s.quick]
     return specs
@@ -100,12 +114,17 @@ def run_benchmarks(
     seeds: Sequence[int] = (1998, 1999, 2000),
     names: Optional[Sequence[str]] = None,
     log: Optional[Callable[[str], None]] = None,
+    suite: str = "seed",
 ) -> Dict:
-    """Run the selected benchmarks and build the ``BENCH_*`` document."""
+    """Run the selected benchmarks and build the ``BENCH_*`` document.
+
+    The document schema is suite-independent (no suite field), so the
+    committed ``BENCH_seed.json`` baseline is unaffected by new suites.
+    """
     from .. import __version__
     from ..hardware import DEFAULT_PARAMS
 
-    specs = select(names, quick=quick)
+    specs = select(names, quick=quick, suite=suite)
     benchmarks: Dict[str, Dict] = {}
     for spec in specs:
         samples: List[float] = []

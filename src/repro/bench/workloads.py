@@ -243,6 +243,66 @@ def _register_apps() -> None:
     )
 
 
+def _serve_latency(seed: int) -> BenchRun:
+    """Per-request latency distribution of a small hash-balanced tier.
+
+    Samples are the telemetry durations of every completed
+    ``serve.request`` span, so the committed baseline pins the whole
+    latency distribution (tail included), and the attribution vector
+    records where request time goes (cpu vs link vs stall).
+    """
+    from ..serve import ServeCluster, ServeConfig
+
+    config = ServeConfig(
+        num_shards=2,
+        num_aggregates=2,
+        balancer="hash",
+        offered_rps=40_000.0,
+        duration_us=5_000.0,
+    )
+    cluster = ServeCluster(config, seed=seed, telemetry=True)
+    cluster.run()
+    tel = cluster.machine.telemetry
+    agg = critpath.aggregate(tel, "serve.request", top=0)
+    samples = [span.duration for span in critpath.operation_roots(tel, "serve.request")]
+    return BenchRun(samples=samples, attribution=agg.components, ops=agg.count)
+
+
+def _serve_goodput(seed: int) -> BenchRun:
+    """Goodput of a p2c-balanced tier under bursty (MMPP) overload."""
+    from ..serve import ServeCluster, ServeConfig
+
+    config = ServeConfig(
+        num_shards=2,
+        num_aggregates=2,
+        balancer="p2c",
+        arrivals="mmpp",
+        offered_rps=60_000.0,
+        duration_us=5_000.0,
+    )
+    cluster = ServeCluster(config, seed=seed)
+    report = cluster.run()
+    return BenchRun(samples=[report.goodput_rps])
+
+
+def _register_serve() -> None:
+    register(
+        BenchSpec(
+            "serve_request_latency", "us", False, _serve_latency,
+            suite="serve",
+            description="per-request latency, 2x2 tier, hash balancer",
+        )
+    )
+    register(
+        BenchSpec(
+            "serve_goodput_mmpp", "rps", True, _serve_goodput,
+            suite="serve",
+            description="goodput under bursty MMPP overload, p2c balancer",
+        )
+    )
+
+
 _register_micro()
 _register_pings()
 _register_apps()
+_register_serve()

@@ -32,7 +32,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..sim.rng import DeterministicRandom, derive_seed
+from ..sim.rng import derive_seed, named_stream
 
 __all__ = ["Fate", "FaultConfig", "FaultPlan"]
 
@@ -136,7 +136,7 @@ class FaultPlan:
         topology = machine.backplane.topology
         cfg = self.config
         if cfg.link_outages:
-            rng = DeterministicRandom(derive_seed(self.seed, "outages"))
+            rng = named_stream(self.seed, "outages")
             links = sorted(topology.links())
             for _ in range(cfg.link_outages):
                 link = rng.pick(links)
@@ -147,7 +147,7 @@ class FaultPlan:
             for windows in self.outages.values():
                 windows.sort()
         if cfg.node_stalls:
-            rng = DeterministicRandom(derive_seed(self.seed, "stalls"))
+            rng = named_stream(self.seed, "stalls")
             for _ in range(cfg.node_stalls):
                 node = rng.randrange(topology.num_nodes)
                 start = rng.uniform(0.0, cfg.horizon_us)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-from ..sim import DeterministicRandom, Simulator, StatsRegistry
+from ..sim import DeterministicRandom, RngStreams, Simulator, StatsRegistry
 from ..hardware import DEFAULT_PARAMS, MachineParams
 from ..network import Backplane
 from ..nic import DEFAULT_NIC_CONFIG, NICConfig
@@ -68,6 +68,12 @@ class Machine:
         self.tracer = Tracer(lambda: self.sim.now)
         self.stats.tracer = self.tracer
         self.rng = DeterministicRandom(seed)
+        #: Named seed-derived RNG streams (see :class:`repro.sim.RngStreams`).
+        #: Subsystems draw from their own labeled stream — e.g. serve traffic
+        #: from ``("serve", "arrivals", i)``, the fault plan from its
+        #: ``"faults"``-derived seed — so the draws of one subsystem can
+        #: never shift another's under the same seed.
+        self.streams = RngStreams(seed)
         self.backplane = Backplane(self.sim, self.params, self.stats)
         self.nodes: List[Node] = [
             Node(self.sim, i, self.params, self.nic_config, self.backplane, self.stats)
@@ -154,6 +160,10 @@ class Machine:
     def registry(self, name: str) -> Dict:
         """A machine-wide dictionary namespace (e.g. exported buffers)."""
         return self.registries.setdefault(name, {})
+
+    def stream(self, *labels) -> DeterministicRandom:
+        """The named seed-derived RNG stream for ``labels`` (memoized)."""
+        return self.streams.stream(*labels)
 
     @property
     def now(self) -> float:

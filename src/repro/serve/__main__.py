@@ -1,0 +1,222 @@
+"""Serving-tier CLI: ``python -m repro.serve <command>``.
+
+Commands:
+
+* ``run`` — drive one configurable serving scenario and print its SLO
+  report (p50/p99/p999 latency per request class, goodput, failure rates,
+  per-shard load), optionally under a chaos scenario, with telemetry,
+  critical-path attribution and the health monitor.
+* ``smoke`` — the fixed chaos smoke check CI gates on: a small tier, a
+  permanent link outage mid-run, monitor armed.  The tier must degrade
+  (failures on the cut route, elevated tail) without deadlocking, and the
+  monitor's postmortem must name the dead link.
+
+Examples::
+
+    python -m repro.serve run --balancer p2c --arrivals mmpp --rps 80000
+    python -m repro.serve run --chaos link-outage --chaos-duration 4000
+    python -m repro.serve smoke --trace-out trace.json --postmortem-out pm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .balance import BALANCER_KINDS
+from .chaos import CHAOS_KINDS, make_chaos
+from .cluster import ServeCluster
+from .config import ServeConfig
+from .traffic import ARRIVAL_KINDS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Sharded serving tier on the reproduced machine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="drive one serving scenario")
+    run.add_argument("--shards", type=int, default=4)
+    run.add_argument("--aggregates", type=int, default=4)
+    run.add_argument(
+        "--balancer", choices=BALANCER_KINDS, default="hash",
+        help="routing policy (default: hash)",
+    )
+    run.add_argument(
+        "--arrivals", choices=ARRIVAL_KINDS, default="poisson",
+        help="open-loop arrival process (default: poisson)",
+    )
+    run.add_argument(
+        "--rps", type=float, default=60_000.0,
+        help="offered load, requests per second (default: 60000)",
+    )
+    run.add_argument(
+        "--duration-us", type=float, default=20_000.0,
+        help="open-loop window, virtual microseconds (default: 20000)",
+    )
+    run.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="key-popularity skew exponent (default: 1.1; 0 = uniform)",
+    )
+    run.add_argument(
+        "--slo-us", type=float, default=1_500.0,
+        help="SLO deadline in microseconds (default: 1500)",
+    )
+    run.add_argument("--seed", type=int, default=1998)
+    run.add_argument(
+        "--chaos", choices=CHAOS_KINDS, default="none",
+        help="fault scenario to inject (default: none)",
+    )
+    run.add_argument(
+        "--chaos-at", type=float, default=2_000.0,
+        help="fault start, microseconds after traffic start",
+    )
+    run.add_argument(
+        "--chaos-duration", type=float, default=5_000.0,
+        help="fault window length in microseconds; <= 0 means permanent",
+    )
+    run.add_argument(
+        "--telemetry", action="store_true",
+        help="record spans and print the per-class critical-path breakdown",
+    )
+    run.add_argument(
+        "--monitor", action="store_true",
+        help="arm the health monitor and print its trip report",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace of the run (implies --telemetry)",
+    )
+    run.add_argument(
+        "--postmortem-out", default=None, metavar="FILE",
+        help="write the monitor postmortem as JSON (implies --monitor)",
+    )
+
+    smoke = sub.add_parser("smoke", help="fixed chaos smoke check (CI)")
+    smoke.add_argument("--seed", type=int, default=1998)
+    smoke.add_argument("--trace-out", default=None, metavar="FILE")
+    smoke.add_argument("--postmortem-out", default=None, metavar="FILE")
+    return parser
+
+
+def _monitor_config():
+    from ..monitor import MonitorConfig
+
+    # Serving queues legitimately sit idle between arrivals and run deep
+    # under bursts; keep the generic watchdogs from crying wolf while the
+    # transport-level trips (retx storms, delivery failures) stay sharp.
+    return MonitorConfig(
+        check_interval_us=250.0,
+        stall_timeout_us=100_000.0,
+        wait_queue_watermark=4096,
+        retx_window_us=3_000.0,
+        retx_storm_rounds=3,
+    )
+
+
+def _drive(config: ServeConfig, seed: int, chaos, telemetry: bool,
+           monitor: bool, trace_out, postmortem_out):
+    """Build, arm, run; print report/monitor/critpath; write artifacts."""
+    telemetry = telemetry or trace_out is not None
+    monitor = monitor or postmortem_out is not None
+    cluster = ServeCluster(config, seed=seed, telemetry=telemetry)
+    mon = None
+    if monitor:
+        # The monitor arms telemetry too; install before the first run.
+        mon = cluster.machine.enable_monitor(_monitor_config())
+    cluster.setup()
+    if chaos is not None:
+        chaos.apply(cluster)
+        print(f"chaos: {chaos.describe(cluster)}")
+    report = cluster.run()
+    print(report.render())
+    if mon is not None:
+        print()
+        print(mon.report())
+        postmortem = mon.postmortem()
+        print(postmortem.render())
+        if postmortem_out:
+            postmortem.write_json(postmortem_out)
+            print(f"postmortem JSON written to {postmortem_out}")
+    tel = cluster.machine.telemetry
+    if telemetry and tel is not None:
+        from ..telemetry.critpath import attribution_report
+
+        print()
+        print(attribution_report(tel, "serve.request"))
+        if trace_out:
+            from ..telemetry.export import write_chrome_trace
+
+            path = write_chrome_trace(tel, trace_out)
+            print(f"Chrome trace written to {path}")
+    return report
+
+
+def _cmd_run(args) -> int:
+    config = ServeConfig(
+        num_shards=args.shards,
+        num_aggregates=args.aggregates,
+        balancer=args.balancer,
+        arrivals=args.arrivals,
+        offered_rps=args.rps,
+        duration_us=args.duration_us,
+        zipf_s=args.zipf_s,
+        slo_timeout_us=args.slo_us,
+    )
+    chaos = None
+    if args.chaos != "none":
+        duration = args.chaos_duration if args.chaos_duration > 0 else None
+        chaos = make_chaos(args.chaos, at_us=args.chaos_at, duration_us=duration)
+    _drive(
+        config, args.seed, chaos, args.telemetry, args.monitor,
+        args.trace_out, args.postmortem_out,
+    )
+    return 0
+
+
+#: The smoke scenario: small tier, short window, permanent mid-run outage.
+#: The retry budget is kept small so the crossing channels fail (and the
+#: monitor names the dead link) well before the drain completes.
+SMOKE_CONFIG = ServeConfig(
+    num_shards=2,
+    num_aggregates=2,
+    balancer="hash",
+    arrivals="poisson",
+    offered_rps=25_000.0,
+    duration_us=8_000.0,
+    slo_timeout_us=1_000.0,
+    retx_timeout_us=200.0,
+    retx_max_retries=3,
+)
+
+
+def _cmd_smoke(args) -> int:
+    chaos = make_chaos("link-outage", at_us=1_500.0, duration_us=None)
+    report = _drive(
+        SMOKE_CONFIG, args.seed, chaos,
+        telemetry=True, monitor=True,
+        trace_out=args.trace_out, postmortem_out=args.postmortem_out,
+    )
+    # The gate: the tier degraded but did not collapse or deadlock.
+    ok = report.overall.ok > 0
+    degraded = report.overall.failed > 0
+    print()
+    print(
+        f"smoke: {'PASS' if ok and degraded else 'FAIL'} "
+        f"(ok={report.overall.ok}, failed={report.overall.failed}, "
+        f"p999={report.p999_us:.1f}us)"
+    )
+    return 0 if ok and degraded else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

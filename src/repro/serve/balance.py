@@ -1,0 +1,113 @@
+"""Routing / load-balancing policies for the serving tier.
+
+A balancer maps each arriving request to a shard at the client aggregate
+(client-side load balancing, the datacenter norm).  Three policies span the
+design space the study sweeps:
+
+* :class:`HashBalancer` — static key affinity: ``mix(key) % shards``.
+  Perfect cache locality, zero load information; a Zipf-hot key pins its
+  whole popularity mass on one shard.
+* :class:`PowerOfTwoBalancer` — "power of two choices": sample two shards,
+  send to the less loaded.  The classic result (Mitzenmacher) is that two
+  choices collapse the max-load gap exponentially versus one; the load
+  signal here is each shard's outstanding-request count, which the
+  simulation can read exactly (an idealized, zero-lag load feed — real
+  systems work from stale hints, so this is the *upper bound* on what load
+  awareness buys).
+* :class:`RoundRobinBalancer` — cycle through shards; oblivious to both
+  keys and load.
+
+Balancer draws (the two p2c probes) come from the caller's named RNG
+stream, keeping routing randomness independent of traffic and faults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = [
+    "BALANCER_KINDS",
+    "Balancer",
+    "HashBalancer",
+    "PowerOfTwoBalancer",
+    "RoundRobinBalancer",
+    "make_balancer",
+    "mix_key",
+]
+
+_MIX = 0x9E3779B97F4A7C15
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def mix_key(key: int) -> int:
+    """Cheap splitmix-style integer hash (stable across runs)."""
+    h = (key + _MIX) & _MASK
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK
+    return h ^ (h >> 31)
+
+
+class Balancer:
+    """Base: route one request to a shard index."""
+
+    name = "base"
+
+    def route(self, key: int, loads: Sequence[int], rng) -> int:
+        """Pick a shard for ``key``; ``loads[i]`` is shard i's outstanding
+        request count and ``rng`` the caller's routing stream."""
+        raise NotImplementedError
+
+
+class HashBalancer(Balancer):
+    """Static key-affinity routing: ``mix(key) % num_shards``."""
+
+    name = "hash"
+
+    def route(self, key: int, loads: Sequence[int], rng) -> int:
+        return mix_key(key) % len(loads)
+
+
+class PowerOfTwoBalancer(Balancer):
+    """Two random probes, route to the less-loaded one (ties: first)."""
+
+    name = "p2c"
+
+    def route(self, key: int, loads: Sequence[int], rng) -> int:
+        n = len(loads)
+        if n == 1:
+            return 0
+        first = rng.randrange(n)
+        second = rng.randrange(n)
+        return second if loads[second] < loads[first] else first
+
+
+class RoundRobinBalancer(Balancer):
+    """Cycle through shards in arrival order."""
+
+    name = "rr"
+
+    def __init__(self):
+        self._next = 0
+
+    def route(self, key: int, loads: Sequence[int], rng) -> int:
+        shard = self._next % len(loads)
+        self._next += 1
+        return shard
+
+
+BALANCER_KINDS = ("hash", "p2c", "rr")
+
+_FACTORIES: dict = {
+    "hash": HashBalancer,
+    "p2c": PowerOfTwoBalancer,
+    "rr": RoundRobinBalancer,
+}
+
+
+def make_balancer(name: str) -> Balancer:
+    factory: Callable[[], Balancer] = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown balancer {name!r}; choose from {BALANCER_KINDS}"
+        )
+    return factory()

@@ -1,0 +1,146 @@
+"""Chaos scenarios for the serving tier.
+
+A :class:`ChaosScenario` injects one well-defined fault into a serving run
+at a pinned virtual time, using the same deterministic fault machinery as
+:mod:`repro.faults` — pinned windows rather than sampled ones, so a chaos
+run is exactly reproducible and the scoring (did the tier degrade or
+deadlock? did the monitor name the dead link?) is a stable assertion, not a
+flaky observation.
+
+Scenarios:
+
+* ``link-outage`` — a link on the route between a client aggregate and a
+  shard goes dark for ``duration_us`` (or permanently).  A transient outage
+  is absorbed by go-back-N retransmission (elevated p999, zero failures); a
+  permanent one fails the crossing channels with ``DeliveryFailed`` and
+  trips the pair circuit breakers (failures on that route, the rest of the
+  tier unaffected).
+* ``shard-stall`` — a shard node's receive engine freezes for the window
+  (an OS-level hiccup): queueing explodes on one shard while the others
+  keep serving.
+* ``rx-overflow`` — receive FIFOs discard on overflow (commodity-switch
+  behavior) instead of exerting wormhole backpressure; reliable delivery
+  turns the discards into retransmissions and tail latency.
+
+Chaos windows are expressed relative to **traffic start** (the cluster's
+``t0``), not absolute virtual time, because connection setup consumes a
+config-dependent amount of virtual time before the first request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["CHAOS_KINDS", "ChaosScenario", "make_chaos"]
+
+CHAOS_KINDS = ("none", "link-outage", "shard-stall", "rx-overflow")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One fault, pinned relative to traffic start."""
+
+    kind: str
+    #: Window start, microseconds after the cluster's t0.
+    at_us: float = 2_000.0
+    #: Window length; None pins the fault open forever.
+    duration_us: Optional[float] = 5_000.0
+    #: For link-outage: which aggregate/shard route to cut.
+    aggregate: int = 0
+    shard: int = 0
+
+    def __post_init__(self):
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; choose from {CHAOS_KINDS}"
+            )
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise ValueError("duration_us must be positive (or None)")
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        """(start, end) offsets relative to t0; end may be infinite."""
+        end = (
+            float("inf")
+            if self.duration_us is None
+            else self.at_us + self.duration_us
+        )
+        return (self.at_us, end)
+
+    def target_link(self, cluster) -> Tuple[int, int]:
+        """The directed link this scenario cuts: the first mesh hop of the
+        aggregate-to-shard route (every request to the shard crosses it)."""
+        cfg = cluster.config
+        src = cfg.aggregate_node(self.aggregate % cfg.num_aggregates)
+        dst = cfg.shard_node(self.shard % cfg.num_shards)
+        path = cluster.machine.backplane.topology.xy_route(src, dst)
+        if not path:
+            raise ValueError("aggregate and shard share a node; no link to cut")
+        return path[0]
+
+    def apply(self, cluster) -> None:
+        """Arm the fault against ``cluster`` (call between setup and run)."""
+        if self.kind == "none":
+            return
+        machine = cluster.machine
+        plan = machine.fault_plan
+        if plan is None:
+            from ..faults import FaultConfig, FaultPlan
+
+            # An empty config samples no random events; the windows below
+            # are pinned by hand, so the injected fault is exactly known.
+            if self.kind == "rx-overflow":
+                plan = FaultPlan(
+                    FaultConfig(rx_overflow_discard=True), cluster.seed
+                )
+            else:
+                plan = FaultPlan(FaultConfig(), cluster.seed)
+            machine.install_fault_plan(plan)
+        t0 = cluster.t0
+        start, end = self.window
+        if self.kind == "link-outage":
+            link = self.target_link(cluster)
+            plan.outages.setdefault(link, []).append((t0 + start, t0 + end))
+            plan.outages[link].sort()
+        elif self.kind == "shard-stall":
+            cfg = cluster.config
+            node = cfg.shard_node(self.shard % cfg.num_shards)
+            plan.stalls.setdefault(node, []).append((t0 + start, t0 + end))
+            plan.stalls[node].sort()
+        # rx-overflow needs no window: the discard behavior is armed by the
+        # config flag for the whole run.
+
+    def describe(self, cluster) -> str:
+        start, end = self.window
+        if self.kind == "none":
+            return "no fault injected"
+        if self.kind == "link-outage":
+            link = self.target_link(cluster)
+            until = "forever" if end == float("inf") else f"until t0+{end:.0f}us"
+            return (
+                f"link {link} dark from t0+{start:.0f}us {until} "
+                f"(aggregate {self.aggregate} -> shard {self.shard} route)"
+            )
+        if self.kind == "shard-stall":
+            node = cluster.config.shard_node(self.shard % cluster.config.num_shards)
+            return f"node {node} receive engine frozen t0+{start:.0f}..{end:.0f}us"
+        return "receive FIFOs discard on overflow for the whole run"
+
+
+def make_chaos(
+    kind: str,
+    at_us: float = 2_000.0,
+    duration_us: Optional[float] = 5_000.0,
+    aggregate: int = 0,
+    shard: int = 0,
+) -> ChaosScenario:
+    return ChaosScenario(
+        kind=kind,
+        at_us=at_us,
+        duration_us=duration_us,
+        aggregate=aggregate,
+        shard=shard,
+    )

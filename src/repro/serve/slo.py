@@ -1,0 +1,206 @@
+"""SLO accounting and reporting for serving runs.
+
+Latencies are recorded per request class into bounded-memory
+:class:`~repro.telemetry.metrics.TailHistogram` instances (log-bucketed, so
+the p999 keeps relative resolution however far the tail runs), and every
+request ends in exactly one terminal state:
+
+* **ok** — the response arrived within ``slo_timeout_us``;
+* **late** — the response arrived, but past the deadline (recorded in the
+  latency histograms; excluded from goodput);
+* **failed** — the request or its response died with the transport (a
+  reliable channel exhausted its retry budget, or its path had already
+  circuit-broken); no latency is recorded.
+
+**Goodput** is ok-completions per second of *offered* window — the number a
+serving SLO actually pays out on — so queueing a request forever and
+failing it fast are equally worthless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..telemetry.metrics import TailHistogram
+
+__all__ = ["ClassStats", "ShardStats", "SloReport", "SloTracker"]
+
+
+@dataclass
+class ClassStats:
+    """Terminal-state counts and the latency distribution of one class."""
+
+    name: str
+    offered: int = 0
+    ok: int = 0
+    late: int = 0
+    failed: int = 0
+    latency: TailHistogram = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.latency is None:
+            self.latency = TailHistogram(f"serve.latency.{self.name}")
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.late
+
+
+@dataclass
+class ShardStats:
+    """Per-shard service-side accounting."""
+
+    index: int
+    node: int
+    served: int = 0
+    peak_outstanding: int = 0
+    busy_us: float = 0.0
+
+
+@dataclass
+class SloReport:
+    """The rendered outcome of one serving run."""
+
+    balancer: str
+    arrivals: str
+    num_shards: int
+    num_aggregates: int
+    total_clients: int
+    offered_rps: float
+    duration_us: float
+    slo_timeout_us: float
+    drained_us: float
+    classes: List[ClassStats] = field(default_factory=list)
+    overall: ClassStats = None  # type: ignore[assignment]
+    shards: List[ShardStats] = field(default_factory=list)
+
+    # -- headline numbers --------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return self.overall.offered
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.overall.ok / (self.duration_us / 1e6)
+
+    @property
+    def timeout_rate(self) -> float:
+        done = self.overall.offered
+        return self.overall.late / done if done else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        done = self.overall.offered
+        return self.overall.failed / done if done else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return self.overall.latency.p50
+
+    @property
+    def p99_us(self) -> float:
+        return self.overall.latency.p99
+
+    @property
+    def p999_us(self) -> float:
+        return self.overall.latency.p999
+
+    def render(self) -> str:
+        from ..study.report import format_table
+
+        title = (
+            f"Serving SLO report: {self.num_shards} shards x "
+            f"{self.num_aggregates} aggregates "
+            f"(~{self.total_clients:,} clients), "
+            f"balancer={self.balancer}, arrivals={self.arrivals}"
+        )
+        lines = [title, "=" * len(title)]
+        lines.append(
+            f"offered {self.offered_rps:,.0f} rps for "
+            f"{self.duration_us / 1000.0:.1f} ms "
+            f"({self.overall.offered} requests); drained at "
+            f"{self.drained_us / 1000.0:.1f} ms"
+        )
+        lines.append(
+            f"goodput {self.goodput_rps:,.0f} rps within "
+            f"SLO {self.slo_timeout_us:.0f} us "
+            f"({100.0 * self.overall.ok / max(1, self.overall.offered):.1f}% "
+            f"of offered); late {100.0 * self.timeout_rate:.1f}%, "
+            f"failed {100.0 * self.failure_rate:.1f}%"
+        )
+        rows = []
+        for stats in [*self.classes, self.overall]:
+            hist = stats.latency
+            rows.append(
+                (
+                    stats.name,
+                    stats.offered,
+                    stats.ok,
+                    stats.late,
+                    stats.failed,
+                    hist.p50,
+                    hist.p99,
+                    hist.p999,
+                    hist.mean,
+                    hist.max,
+                )
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                "Latency by request class (us)",
+                ["class", "offered", "ok", "late", "failed",
+                 "p50", "p99", "p999", "mean", "max"],
+                rows,
+            )
+        )
+        shard_rows = [
+            (
+                s.index,
+                s.node,
+                s.served,
+                s.peak_outstanding,
+                100.0 * s.busy_us / self.drained_us if self.drained_us else 0.0,
+            )
+            for s in self.shards
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                "Shard load",
+                ["shard", "node", "served", "peak outstanding", "cpu busy (%)"],
+                shard_rows,
+            )
+        )
+        return "\n".join(lines)
+
+
+class SloTracker:
+    """Accumulates terminal states and latencies during a run."""
+
+    def __init__(self, class_names):
+        self.by_class: Dict[str, ClassStats] = {
+            name: ClassStats(name) for name in class_names
+        }
+        self.overall = ClassStats("all")
+
+    def offer(self, klass: str) -> None:
+        self.by_class[klass].offered += 1
+        self.overall.offered += 1
+
+    def complete(self, klass: str, latency_us: float, within_slo: bool) -> None:
+        stats = self.by_class[klass]
+        if within_slo:
+            stats.ok += 1
+            self.overall.ok += 1
+        else:
+            stats.late += 1
+            self.overall.late += 1
+        stats.latency.add(latency_us)
+        self.overall.latency.add(latency_us)
+
+    def fail(self, klass: str) -> None:
+        self.by_class[klass].failed += 1
+        self.overall.failed += 1

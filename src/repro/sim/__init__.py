@@ -2,7 +2,7 @@
 
 from .engine import Event, Interrupted, SimProcess, SimulationError, Simulator, Timeout
 from .resources import Queue, Resource, Signal
-from .rng import DeterministicRandom, derive_seed
+from .rng import DeterministicRandom, RngStreams, derive_seed, named_stream
 from .trace import TraceEvent, Tracer
 from .stats import (
     BREAKDOWN_CATEGORIES,
@@ -23,7 +23,9 @@ __all__ = [
     "Queue",
     "Signal",
     "DeterministicRandom",
+    "RngStreams",
     "derive_seed",
+    "named_stream",
     "StatsRegistry",
     "Counter",
     "Accumulator",

@@ -3,8 +3,12 @@
 Usage::
 
     python -m repro.study [table1|table2|table3|table4|figure3|figure4|
-                           combining|fifo|queueing|reliability|micro|all]
+                           combining|fifo|queueing|reliability|serve|
+                           micro|all]
                           [--nodes N]
+
+``serve`` sweeps the serving tier (load x balancer x fault); it is not
+part of ``all``.
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ from . import (
     format_reliability_study,
     format_table1,
     format_table2,
+    format_serving_study,
     format_table3,
     format_table4,
     queueing_study,
+    serving_study,
     reliability_study,
     run_microbenchmarks,
     table1,
@@ -51,7 +57,8 @@ def main(argv=None) -> int:
         default="all",
         choices=[
             "table1", "table2", "table3", "table4", "figure3", "figure4",
-            "combining", "fifo", "queueing", "reliability", "micro", "all",
+            "combining", "fifo", "queueing", "reliability", "serve",
+            "micro", "all",
         ],
     )
     parser.add_argument("--nodes", type=int, default=16)
@@ -90,6 +97,10 @@ def main(argv=None) -> int:
         emit.append(format_queueing_study(queueing_study(runner, args.nodes)))
     if args.what in ("reliability", "all"):
         emit.append(format_reliability_study(reliability_study(args.nodes)))
+    if args.what == "serve":
+        # The serving sweep studies the growth direction, not the paper's
+        # own tables; "all" stays byte-stable without it.
+        emit.append(format_serving_study(serving_study()))
 
     print("\n\n".join(emit))
     return 0

@@ -36,7 +36,7 @@ from .critpath import (
 )
 from .events import TelemetryEvent
 from .export import to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
-from .metrics import Gauge, Histogram, Timeline
+from .metrics import Gauge, Histogram, TailHistogram, Timeline
 from .report import latency_breakdown, summarize, utilization_report
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "Span",
     "TelemetryEvent",
     "Histogram",
+    "TailHistogram",
     "Gauge",
     "Timeline",
     "to_chrome_trace",

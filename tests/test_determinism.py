@@ -166,3 +166,75 @@ def test_critical_path_attribution_is_deterministic():
     second = critpath.aggregate(_run_lossy_reliable(seed=11).telemetry, None, top=0)
     assert first.components == second.components
     assert first.count == second.count
+
+def _run_chaos_serve(seed, monitor=False):
+    """A small serving-tier run through a permanent link outage: open-loop
+    generators, reliable-channel lanes, go-back-N retransmission storms and
+    circuit-breaker failures all in play."""
+    from repro.serve import ServeCluster, ServeConfig, make_chaos
+
+    config = ServeConfig(
+        num_shards=2,
+        num_aggregates=2,
+        offered_rps=20_000.0,
+        duration_us=3_000.0,
+        retx_timeout_us=150.0,
+        retx_max_retries=2,
+    )
+    cluster = ServeCluster(config, seed=seed, telemetry=True)
+    if monitor:
+        cluster.machine.enable_monitor(
+            MonitorConfig(
+                check_interval_us=250.0,
+                retx_storm_rounds=2,
+                retx_window_us=10_000.0,
+            )
+        )
+    cluster.setup()
+    make_chaos("link-outage", at_us=800.0, duration_us=None).apply(cluster)
+    report = cluster.run()
+    return cluster.machine, report
+
+
+def test_chaos_serve_run_is_deterministic():
+    first_machine, first_report = _run_chaos_serve(seed=2026)
+    second_machine, second_report = _run_chaos_serve(seed=2026)
+    # Sanity: the outage actually broke channels, so the comparison covers
+    # retransmission exhaustion and the fail-fast path, not a clean run.
+    assert first_report.overall.failed > 0
+    assert (
+        first_report.overall.offered,
+        first_report.overall.ok,
+        first_report.overall.late,
+        first_report.overall.failed,
+    ) == (
+        second_report.overall.offered,
+        second_report.overall.ok,
+        second_report.overall.late,
+        second_report.overall.failed,
+    )
+    _assert_identical(first_machine, second_machine)
+
+
+def test_monitored_serve_run_does_not_perturb_the_trajectory():
+    """Arming the health monitor over a chaotic serve run changes nothing
+    but its own trip instants."""
+    plain, plain_report = _run_chaos_serve(seed=2026, monitor=False)
+    watched, watched_report = _run_chaos_serve(seed=2026, monitor=True)
+    # Sanity: the monitor observed the storm the outage caused.
+    assert watched.monitor.trips
+    assert plain.sim.now == watched.sim.now
+    assert plain.sim.events_processed == watched.sim.events_processed
+    assert plain.stats.snapshot() == watched.stats.snapshot()
+    assert plain_report.overall.failed == watched_report.overall.failed
+    assert plain_report.p999_us == watched_report.p999_us
+    assert _span_shapes(plain) == _span_shapes(watched)
+    plain_instants = [
+        (e.name, e.time, e.node) for e in plain.telemetry.instants()
+    ]
+    watched_instants = [
+        (e.name, e.time, e.node)
+        for e in watched.telemetry.instants()
+        if e.name != "monitor.trip"
+    ]
+    assert plain_instants == watched_instants

@@ -1,0 +1,250 @@
+"""Serving-tier tests: traffic models, balancers, the cluster, and chaos.
+
+The cluster runs here are deliberately small (2x2, a few milliseconds of
+virtual time) — enough to exercise the full request path (open-loop
+generator -> balancer -> reliable-channel lane -> shard worker -> response
+lane -> SLO accounting) without slowing the suite.
+"""
+
+import pytest
+
+from repro.serve import (
+    HashBalancer,
+    MMPPArrivals,
+    PoissonArrivals,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    ServeCluster,
+    ServeConfig,
+    ZipfKeys,
+    make_arrivals,
+    make_balancer,
+    make_chaos,
+)
+from repro.serve.traffic import DiurnalArrivals, WeightedChoice
+from repro.sim.rng import DeterministicRandom
+
+
+def _small_config(**overrides):
+    base = dict(
+        num_shards=2,
+        num_aggregates=2,
+        offered_rps=20_000.0,
+        duration_us=3_000.0,
+        slo_timeout_us=1_000.0,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+# -- traffic models ---------------------------------------------------------
+
+
+def test_poisson_arrivals_match_configured_rate():
+    rng = DeterministicRandom(7)
+    arrivals = PoissonArrivals(rng, rate_per_us=0.05)
+    n = 20_000
+    total = sum(arrivals.next_gap(0.0) for _ in range(n))
+    mean_gap = total / n
+    assert mean_gap == pytest.approx(1 / 0.05, rel=0.05)
+
+
+def test_mmpp_long_run_rate_matches_mean():
+    rng = DeterministicRandom(11)
+    arrivals = MMPPArrivals(rng, rate_per_us=0.05, burst_mult=4.0, dwell_us=500.0)
+    t = 0.0
+    n = 50_000
+    for _ in range(n):
+        t += arrivals.next_gap(t)
+    assert n / t == pytest.approx(0.05, rel=0.1)
+
+
+def test_mmpp_is_burstier_than_poisson():
+    """Squared coefficient of variation of inter-arrival gaps: Poisson has
+    C^2 = 1; a 2-state MMPP must exceed it."""
+
+    def c2(gaps):
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / (mean * mean)
+
+    poisson = PoissonArrivals(DeterministicRandom(5), 0.05)
+    mmpp = MMPPArrivals(DeterministicRandom(5), 0.05, burst_mult=8.0, dwell_us=2_000.0)
+    gaps_p = [poisson.next_gap(0.0) for _ in range(20_000)]
+    gaps_m = []
+    t = 0.0
+    for _ in range(20_000):
+        gap = mmpp.next_gap(t)
+        gaps_m.append(gap)
+        t += gap
+    assert c2(gaps_m) > c2(gaps_p) * 1.5
+
+
+def test_diurnal_rate_modulation_shows_up_in_windows():
+    rng = DeterministicRandom(3)
+    period = 10_000.0
+    arrivals = DiurnalArrivals(rng, rate_per_us=0.05, amp=0.8, period_us=period)
+    counts = [0, 0]  # [peak half, trough half]
+    t = 0.0
+    while t < 40 * period:
+        t += arrivals.next_gap(t)
+        phase = (t % period) / period
+        counts[0 if phase < 0.5 else 1] += 1
+    # sin > 0 on the first half-period: it must carry clearly more traffic.
+    assert counts[0] > counts[1] * 1.5
+
+
+def test_make_arrivals_rejects_unknown_kind():
+    config = _small_config()
+    object.__setattr__(config, "arrivals", "fractal")
+    with pytest.raises(ValueError, match="fractal"):
+        make_arrivals(config, DeterministicRandom(1), 0.01)
+
+
+def test_zipf_keys_rank_popularity():
+    keys = ZipfKeys(DeterministicRandom(13), n=64, s=1.1)
+    counts = [0] * 64
+    for _ in range(30_000):
+        counts[keys.draw()] += 1
+    assert counts[0] == max(counts)
+    assert counts[0] > 3 * counts[10]
+    # s=0 degenerates to uniform: hottest/coldest within noise of equal.
+    uniform = ZipfKeys(DeterministicRandom(13), n=8, s=0.0)
+    ucounts = [0] * 8
+    for _ in range(16_000):
+        ucounts[uniform.draw()] += 1
+    assert max(ucounts) < 1.25 * min(ucounts)
+
+
+def test_weighted_choice_respects_weights():
+    choice = WeightedChoice(DeterministicRandom(9), ["a", "b"], [0.8, 0.2])
+    draws = [choice.draw() for _ in range(10_000)]
+    assert draws.count("a") / len(draws) == pytest.approx(0.8, abs=0.02)
+
+
+# -- balancers --------------------------------------------------------------
+
+
+def test_hash_balancer_is_stable_and_key_affine():
+    balancer = HashBalancer()
+    loads = [0, 0, 0, 0]
+    rng = DeterministicRandom(1)
+    shard = balancer.route(42, loads, rng)
+    for _ in range(5):
+        assert balancer.route(42, loads, rng) == shard
+
+
+def test_p2c_prefers_less_loaded_shard():
+    balancer = PowerOfTwoBalancer()
+    rng = DeterministicRandom(2)
+    # One idle shard among heavily loaded ones: p2c must route most
+    # traffic toward the idle one; hash would not even look.
+    loads = [100, 100, 0, 100]
+    hits = sum(1 for _ in range(1_000) if balancer.route(0, loads, rng) == 2)
+    assert hits > 400
+
+
+def test_round_robin_cycles():
+    balancer = RoundRobinBalancer()
+    rng = DeterministicRandom(3)
+    loads = [0, 0, 0]
+    assert [balancer.route(0, loads, rng) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_make_balancer_rejects_unknown():
+    with pytest.raises(ValueError, match="least-conns"):
+        make_balancer("least-conns")
+
+
+# -- the cluster ------------------------------------------------------------
+
+
+def test_serve_cluster_completes_every_request():
+    cluster = ServeCluster(_small_config(), seed=1998)
+    report = cluster.run()
+    overall = report.overall
+    assert overall.offered > 0
+    assert overall.ok + overall.late + overall.failed == overall.offered
+    assert overall.failed == 0
+    assert report.goodput_rps > 0
+    # Every outstanding count returned to zero: nothing leaked.
+    assert cluster.loads == [0] * cluster.config.num_shards
+    assert sum(s.served for s in report.shards) == overall.ok + overall.late
+
+
+def test_serve_cluster_scores_against_the_slo():
+    # A 1 us SLO is unmeetable across a mesh: everything completes late.
+    cluster = ServeCluster(_small_config(slo_timeout_us=1.0), seed=1998)
+    report = cluster.run()
+    assert report.overall.late == report.overall.offered
+    assert report.goodput_rps == 0.0
+    assert report.timeout_rate == 1.0
+
+
+def test_offered_schedule_is_invariant_under_fault_plan_and_balancer():
+    """Same seed => identical arrivals, keys and classes, regardless of
+    the installed fault plan or routing policy (named RNG streams)."""
+    plain = ServeCluster(_small_config(), seed=4)
+    plain.run()
+
+    chaotic = ServeCluster(_small_config(), seed=4)
+    chaotic.setup()
+    make_chaos("link-outage", at_us=500.0, duration_us=1_000.0).apply(chaotic)
+    chaotic.run()
+
+    rerouted = ServeCluster(_small_config(balancer="p2c"), seed=4)
+    rerouted.run()
+
+    assert plain.arrival_schedule == chaotic.arrival_schedule
+    assert plain.arrival_schedule == rerouted.arrival_schedule
+
+
+def test_transient_outage_elevates_tail_without_failures():
+    baseline = ServeCluster(_small_config(), seed=1998).run()
+
+    cluster = ServeCluster(_small_config(), seed=1998)
+    cluster.setup()
+    make_chaos("link-outage", at_us=800.0, duration_us=1_200.0).apply(cluster)
+    report = cluster.run()
+
+    # Go-back-N rides out the window: no failures, but the requests that
+    # crossed it complete far beyond the clean-run tail.
+    assert report.overall.failed == 0
+    assert report.p999_us > 3 * baseline.p999_us
+    assert report.overall.ok + report.overall.late == report.overall.offered
+
+
+def test_permanent_outage_degrades_without_deadlock():
+    config = _small_config(retx_timeout_us=150.0, retx_max_retries=2)
+    cluster = ServeCluster(config, seed=1998)
+    cluster.setup()
+    make_chaos("link-outage", at_us=500.0, duration_us=None).apply(cluster)
+    report = cluster.run()
+
+    overall = report.overall
+    # The run drained (no deadlock), routes crossing the dead link failed
+    # fast via the circuit breaker, and the rest of the tier kept serving.
+    assert overall.ok + overall.late + overall.failed == overall.offered
+    assert overall.failed > 0
+    assert overall.ok > 0
+    assert cluster.loads == [0] * config.num_shards
+
+
+def test_chaos_scenario_validation():
+    with pytest.raises(ValueError, match="unknown chaos kind"):
+        make_chaos("meteor-strike")
+    scenario = make_chaos("link-outage", duration_us=None)
+    assert scenario.window[1] == float("inf")
+
+
+def test_cluster_runs_exactly_once():
+    cluster = ServeCluster(_small_config(), seed=1)
+    cluster.run()
+    with pytest.raises(RuntimeError, match="exactly once"):
+        cluster.run()
+
+
+def test_report_render_names_the_tail_columns():
+    report = ServeCluster(_small_config(), seed=2).run()
+    text = report.render()
+    assert "p99" in text and "p999" in text and "goodput" in text

@@ -296,3 +296,72 @@ def test_tracer_mirrors_telemetry_via_sink():
     _du_ping(machine)
     assert machine.tracer.count("vmmc.send") >= 2  # begin + end
     assert machine.tracer.count("nic.rx") >= 2
+
+
+class TestTailHistogram:
+    """TailHistogram vs. the exact keep-every-sample Histogram oracle."""
+
+    def _paired(self, samples, sub_bits=7):
+        from repro.telemetry import TailHistogram
+
+        exact = Histogram("oracle")
+        tail = TailHistogram("tail", resolution=0.1, sub_bits=sub_bits)
+        for s in samples:
+            exact.add(s)
+            tail.add(s)
+        return exact, tail
+
+    def test_quantiles_track_the_exact_oracle(self):
+        import random
+
+        rng = random.Random(1998)
+        # Heavy-tailed: median ~ e^2, p999 two orders of magnitude higher —
+        # the regime a plain linear histogram gets wrong.
+        samples = [rng.lognormvariate(2.0, 1.2) for _ in range(50_000)]
+        exact, tail = self._paired(samples)
+        assert tail.count == exact.count
+        assert tail.min == exact.min
+        assert tail.max == exact.max
+        assert tail.mean == pytest.approx(exact.mean)
+        for p in (10.0, 50.0, 90.0, 99.0, 99.9, 99.99):
+            approx = tail.percentile(p)
+            oracle = exact.percentile(p)
+            # Buckets report their upper bound, so the estimate never falls
+            # below the oracle, and relative width is bounded by 2**-sub_bits
+            # in every major bucket — tail resolution does not degrade.
+            assert oracle <= approx <= oracle * (1 + 2 * 2.0 ** -7)
+
+    def test_bounds_checked_even_when_empty(self):
+        from repro.telemetry import TailHistogram
+
+        tail = TailHistogram("empty")
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            tail.percentile(101.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            tail.percentile(-0.1)
+        assert tail.percentile(99.9) == 0.0
+        exact = Histogram("empty-oracle")
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            exact.percentile(100.5)
+        assert exact.p999 == 0.0
+
+    def test_zero_bucket_and_extreme_clamps(self):
+        from repro.telemetry import TailHistogram
+
+        tail = TailHistogram("clamp", resolution=1.0)
+        for s in (0.0, 0.5, 0.99):  # all below resolution
+            tail.add(s)
+        tail.add(1000.0)
+        assert tail.percentile(50.0) == 0.0
+        # The covering bucket's upper bound is clamped to the true max.
+        assert tail.percentile(100.0) == 1000.0
+        with pytest.raises(ValueError, match="negative"):
+            tail.add(-1.0)
+
+    def test_constructor_validation(self):
+        from repro.telemetry import TailHistogram
+
+        with pytest.raises(ValueError, match="resolution"):
+            TailHistogram("bad", resolution=0.0)
+        with pytest.raises(ValueError, match="sub_bits"):
+            TailHistogram("bad", sub_bits=0)
