@@ -18,6 +18,7 @@ Quick start::
 See ``examples/quickstart.py`` for a complete program.
 """
 
+from .coll import Collective, CollConfig, CollWorld
 from .faults import FaultConfig, FaultPlan
 from .hardware import DEFAULT_PARAMS, MachineParams
 from .monitor import HealthMonitor, MonitorConfig, Postmortem
@@ -34,10 +35,13 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Machine",
+    "Collective",
+    "CollConfig",
+    "CollWorld",
     "Node",
     "NodeProcess",
     "MachineParams",

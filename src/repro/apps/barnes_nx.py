@@ -43,12 +43,17 @@ class BarnesNX(Application):
         theta: float = 0.6,
         dt: float = 0.05,
         batch_bodies: int = 2,
+        coll=None,
     ):
         super().__init__(mode)
         self.n_bodies = n_bodies
         self.steps = steps
         self.theta = theta
         self.dt = dt
+        #: Optional :class:`repro.coll.CollConfig`: run gsync on the
+        #: in-network collective engines instead of the host dissemination
+        #: barrier.
+        self.coll = coll
         #: Bodies per exchange message.  The real Barnes-NX communicates
         #: octree cells individually, making it by far the most
         #: message-intensive application (1M messages in Table 3 and the
@@ -62,7 +67,7 @@ class BarnesNX(Application):
         rng = ctx.rng.split("barnes")
         self._bodies = make_bodies(self.n_bodies, rng)
         self._final = []
-        world = NXWorld(ctx.vmmc, ctx.nprocs, transport=self.mode)
+        world = NXWorld(ctx.vmmc, ctx.nprocs, transport=self.mode, coll=self.coll)
         return [self._worker(ctx, world, i) for i in range(ctx.nprocs)]
 
     def _worker(self, ctx: RunContext, world: NXWorld, index: int) -> Generator:

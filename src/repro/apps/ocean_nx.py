@@ -36,10 +36,14 @@ class OceanNX(Application):
     name = "Ocean-NX"
     api = "NX"
 
-    def __init__(self, mode: str = "du", n: int = 34, sweeps: int = 10):
+    def __init__(self, mode: str = "du", n: int = 34, sweeps: int = 10, coll=None):
         super().__init__(mode)
         self.n = n
         self.sweeps = sweeps
+        #: Optional :class:`repro.coll.CollConfig`: run gsync and the
+        #: residual allreduce on the in-network collective engines instead
+        #: of host-synthesized point-to-point algorithms.
+        self.coll = coll
         self._grid: List[List[float]] = []
         self._final: List[List[float]] = []
 
@@ -52,7 +56,7 @@ class OceanNX(Application):
         rng = ctx.rng.split("ocean")
         self._grid = make_grid(self.n, rng)
         self._final = []
-        world = NXWorld(ctx.vmmc, ctx.nprocs, transport=self.mode)
+        world = NXWorld(ctx.vmmc, ctx.nprocs, transport=self.mode, coll=self.coll)
         return [self._worker(ctx, world, i) for i in range(ctx.nprocs)]
 
     def _worker(self, ctx: RunContext, world: NXWorld, index: int) -> Generator:
@@ -89,7 +93,10 @@ class OceanNX(Application):
             # checked periodically, not every relaxation).
             if _sweep % 2 == 1:
                 local_res = sum(abs(v) for row in block[1:-1] for v in row)
-                yield from nx.allreduce(local_res, lambda a, b: a + b)
+                # The result is only used for convergence monitoring (not
+                # fed back into the grid), so the in-network tree-order
+                # summation cannot perturb the exact validation.
+                yield from nx.allreduce(local_res, lambda a, b: a + b, name="sum")
 
         ctx.mark_end()
         # Gather the final interior rows at rank 0.

@@ -12,6 +12,10 @@ Three families:
   elapsed time plus the aggregate attribution of every top-level
   operation in the run.
 
+Plus the growth-direction suites, gated by their own baselines rather
+than ``BENCH_seed.json``: **serve** (serving-tier latency/goodput) and
+**coll** (in-network collectives: barrier, allreduce, broadcast).
+
 Everything is seeded and measured in virtual time, so a benchmark's
 samples are a pure function of the code — which is what makes the
 committed baseline comparable across machines.
@@ -285,6 +289,93 @@ def _serve_goodput(seed: int) -> BenchRun:
     return BenchRun(samples=[report.goodput_rps])
 
 
+def _coll_ops(
+    seed: int,
+    backend: str,
+    nodes: int,
+    op: str = "barrier",
+    ops: int = 8,
+) -> BenchRun:
+    """``ops`` collectives on ``nodes`` ranks; one sample per op span.
+
+    The first operation of each rank (cold trees, engine queues, rank
+    start skew) is dropped from the latency samples but kept in the
+    attribution sums, mirroring the ping benchmarks.
+    """
+    from ..coll import CollConfig, CollWorld
+
+    machine = Machine(num_nodes=nodes, seed=seed, telemetry=True)
+    world = CollWorld(machine, nodes, CollConfig(backend=backend))
+
+    def worker(rank: int):
+        coll = world.join(rank, machine.create_process(rank))
+        if op == "barrier":
+            for _ in range(ops):
+                yield from coll.barrier()
+        elif op == "allreduce":
+            for i in range(ops):
+                yield from coll.allreduce(float(rank + i), op="sum")
+        elif op == "bcast":
+            data = _payload(4096) if rank == 0 else None
+            for _ in range(ops):
+                yield from coll.bcast(0, data)
+        else:  # pragma: no cover - spec misconfiguration
+            raise ValueError(f"unknown collective op {op!r}")
+
+    for rank in range(nodes):
+        machine.sim.spawn(worker(rank), f"bench.coll.r{rank}")
+    machine.sim.run()
+
+    tel = machine.telemetry
+    span_name = f"coll.{op}"
+    agg = critpath.aggregate(tel, span_name, top=0)
+    by_node: Dict[int, list] = {}
+    for root in critpath.operation_roots(tel, span_name):
+        by_node.setdefault(root.node, []).append(root)
+    samples = []
+    for spans in by_node.values():
+        spans.sort(key=lambda span: span.start)
+        samples.extend(span.duration for span in spans[1:])
+    return BenchRun(
+        samples=samples, attribution=agg.components, ops=agg.count
+    )
+
+
+def _register_coll() -> None:
+    register(
+        BenchSpec(
+            "coll_barrier_nic_16", "us", False,
+            lambda seed: _coll_ops(seed, "nic", 16, "barrier"),
+            suite="coll",
+            description="NIC-resident tree barrier, 16 nodes",
+        )
+    )
+    register(
+        BenchSpec(
+            "coll_barrier_host_16", "us", False,
+            lambda seed: _coll_ops(seed, "host", 16, "barrier"),
+            suite="coll",
+            description="host-backend tree barrier, 16 nodes",
+        )
+    )
+    register(
+        BenchSpec(
+            "coll_allreduce_nic_16", "us", False,
+            lambda seed: _coll_ops(seed, "nic", 16, "allreduce"),
+            suite="coll",
+            description="NIC-resident combining allreduce, 16 nodes",
+        )
+    )
+    register(
+        BenchSpec(
+            "coll_bcast_4k_nic_16", "us", False,
+            lambda seed: _coll_ops(seed, "nic", 16, "bcast"),
+            suite="coll",
+            description="switch-replicated 4 KB broadcast, 16 nodes",
+        )
+    )
+
+
 def _register_serve() -> None:
     register(
         BenchSpec(
@@ -306,3 +397,4 @@ _register_micro()
 _register_pings()
 _register_apps()
 _register_serve()
+_register_coll()

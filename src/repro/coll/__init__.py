@@ -1,0 +1,25 @@
+"""``repro.coll`` — in-network collectives run by NIC firmware.
+
+The paper's methodology is to move protocol work between host software and
+NIC firmware and measure the difference.  This package applies that to
+*collective* operations: barrier, broadcast, reduce, allreduce and
+fetch-and-add executed by firmware state machines on the NICs
+(:mod:`repro.coll.engine`), combining and replicating at the interior
+switches of XY-route-derived spanning trees (:mod:`repro.coll.tree`) —
+with a host-side fallback backend that runs the identical protocol through
+per-hop host software, so the cost of host involvement is isolatable with
+one config knob (:mod:`repro.coll.config`).
+"""
+
+from .api import Collective, CollWorld
+from .config import DEFAULT_COLL_CONFIG, REDUCE_OPS, CollConfig
+from .tree import SpanningTree
+
+__all__ = [
+    "Collective",
+    "CollWorld",
+    "CollConfig",
+    "DEFAULT_COLL_CONFIG",
+    "REDUCE_OPS",
+    "SpanningTree",
+]

@@ -1,0 +1,246 @@
+"""The collective-operation API: :class:`CollWorld` and :class:`Collective`.
+
+Usage mirrors the other communication libraries::
+
+    machine = Machine(num_nodes=16)
+    machine.start()
+    world = CollWorld(machine, nprocs=16, config=CollConfig(backend="nic"))
+    coll = world.join(rank, machine.create_process(rank))
+    ...
+    yield from coll.barrier()
+    total = yield from coll.allreduce(local, op="sum")
+
+Ranks map one-to-one onto nodes (rank *r* lives on node *r*): the
+spanning trees are embedded in the physical mesh, so the tree position of
+a rank **is** its node.  Every member must issue the same collectives in
+the same order — operations are matched by a per-rank sequence number,
+exactly like the tag-free collectives of NX.  The per-call cost on the
+calling CPU is one user-level doorbell (``udma_init_us``) to hand the
+contribution to the engine and one status poll (``poll_us``) after the
+completion fires; everything in between belongs to the engines
+(:mod:`repro.coll.engine`) and the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator, Optional
+
+from ..node import NodeProcess
+from ..sim.ids import RunScopedCounter
+from .config import DEFAULT_COLL_CONFIG, CollConfig
+from .engine import (
+    OP_ALLREDUCE,
+    OP_BARRIER,
+    OP_BCAST,
+    OP_FADD,
+    OP_REDUCE,
+    OPERATORS,
+    CollDispatcher,
+    CollEngine,
+)
+from .tree import SpanningTree
+
+__all__ = ["CollWorld", "Collective"]
+
+_VALUE = struct.Struct("<d")
+
+#: World tags start at 1 and are run-scoped (they appear in queue/signal
+#: names and packet payloads, both of which reach the telemetry stream).
+_world_tags = RunScopedCounter(start=1)
+
+
+class CollWorld:
+    """One collective communicator: ``nprocs`` ranks on nodes ``0..nprocs-1``.
+
+    Construction attaches a :class:`~repro.coll.engine.CollEngine` to every
+    member node's NIC (via the per-NIC dispatcher, so several worlds can
+    coexist) and starts the engine daemons.  The machine must be built
+    first; construct the world before ``sim.run`` like any other library.
+    """
+
+    def __init__(
+        self,
+        machine,
+        nprocs: int,
+        config: Optional[CollConfig] = None,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if nprocs > machine.num_nodes:
+            raise ValueError(
+                f"world of {nprocs} ranks needs {nprocs} nodes; machine "
+                f"has {machine.num_nodes}"
+            )
+        config = config or DEFAULT_COLL_CONFIG
+        if config.root >= nprocs:
+            raise ValueError(f"tree root {config.root} outside world")
+        machine.start()
+        self.machine = machine
+        self.nprocs = nprocs
+        self.config = config
+        self.tag = next(_world_tags)
+        self.mesh = machine.backplane.topology
+        self.members = tuple(range(nprocs))
+        self._trees: Dict[int, SpanningTree] = {}
+        self._engines: Dict[int, CollEngine] = {}
+        for node_id in self.members:
+            node = machine.nodes[node_id]
+            engine = CollEngine(self, node, config.backend)
+            dispatcher = node.nic.coll_engine
+            if dispatcher is None:
+                dispatcher = CollDispatcher(node.nic)
+                node.nic.coll_engine = dispatcher
+            dispatcher.register(self.tag, engine)
+            self._engines[node_id] = engine
+            engine.start()
+        # Build (and closure-check) the default tree eagerly so a bad
+        # member/root combination fails at construction, not mid-run.
+        self.tree(config.root)
+
+    def tree(self, root: int) -> SpanningTree:
+        """The spanning tree rooted at ``root`` (cached per root)."""
+        tree = self._trees.get(root)
+        if tree is None:
+            tree = SpanningTree(self.mesh, self.members, root)
+            self._trees[root] = tree
+        return tree
+
+    def engine(self, node_id: int) -> CollEngine:
+        return self._engines[node_id]
+
+    def join(self, rank: int, proc: NodeProcess) -> "Collective":
+        """Rank ``rank``'s handle.  Unlike NX there is no rendezvous —
+        the engines were wired at world construction — so join is
+        immediate."""
+        return Collective(self, rank, proc)
+
+
+class Collective:
+    """One rank's handle on the collective engines."""
+
+    def __init__(self, world: CollWorld, rank: int, proc: NodeProcess):
+        if not 0 <= rank < world.nprocs:
+            raise ValueError(f"rank {rank} outside world of {world.nprocs}")
+        if proc.node_id != rank:
+            raise ValueError(
+                f"rank {rank} must live on node {rank} (got node "
+                f"{proc.node_id}): collective trees are embedded in the mesh"
+            )
+        self.world = world
+        self.rank = rank
+        self.proc = proc
+        self.node = proc.node
+        self.sim = proc.node.sim
+        self.stats = proc.node.stats
+        self.params = proc.node.params
+        self._engine = world.engine(rank)
+        self._seq = 0
+
+    @property
+    def nprocs(self) -> int:
+        return self.world.nprocs
+
+    # -- operations -------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        """Block until every rank has entered the barrier."""
+        yield from self._combining_op(OP_BARRIER, "sum", None, "coll.barrier")
+        self.stats.count("coll.barriers")
+
+    def reduce(self, value: float, op: str = "sum", root: Optional[int] = None) -> Generator:
+        """Combine one float toward ``root``; only the root receives the
+        result (other ranks return ``None`` as soon as their subtree has
+        been contributed — they are not held for the total)."""
+        if root is None:
+            root = self.world.config.root
+        result = yield from self._combining_op(
+            OP_REDUCE, op, value, "coll.reduce", root=root
+        )
+        return result
+
+    def allreduce(self, value: float, op: str = "sum") -> Generator:
+        """Combine one float; every rank receives the result."""
+        result = yield from self._combining_op(
+            OP_ALLREDUCE, op, value, "coll.allreduce"
+        )
+        return result
+
+    def fetch_and_add(self, value: float = 1.0) -> Generator:
+        """Combining fetch-and-add: returns the sum of the contributions
+        serialized *before* this rank's (exclusive prefix in tree
+        pre-order, the order the combining network merges requests in).
+        The root observes prefix 0; contributing 1.0 everywhere hands out
+        the permutation ``0..nprocs-1``."""
+        result = yield from self._combining_op(OP_FADD, "sum", value, "coll.fadd")
+        return result
+
+    def bcast(self, root: int, data: Optional[bytes]) -> Generator:
+        """Broadcast ``data`` from ``root``; returns it on every rank.
+        In-switch replication: interior engines forward each chunk to all
+        children before accounting it locally (cut-through pipelining)."""
+        if not 0 <= root < self.nprocs:
+            raise ValueError(f"bcast root {root} outside world")
+        seq = self._seq
+        self._seq += 1
+        engine = self._engine
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                "coll.bcast", self.node.node_id, "app", seq=seq, root=root
+            )
+        if self.rank == root:
+            yield from self.node.cpu.busy(self.params.udma_init_us, "barrier")
+            engine.post_local(seq, OP_BCAST, 0, root, bytes(data or b""), span)
+        result = yield from self._await(seq)
+        yield from self.node.cpu.busy(self.params.poll_us, "barrier")
+        if tel is not None:
+            tel.end(span, bytes=len(result))
+        return result
+
+    # -- shared plumbing --------------------------------------------------
+
+    def _combining_op(
+        self,
+        opcode: int,
+        op: str,
+        value: Optional[float],
+        span_name: str,
+        root: Optional[int] = None,
+    ) -> Generator:
+        if op not in OPERATORS:
+            raise ValueError(f"unknown reduce op {op!r} (have {OPERATORS})")
+        if root is None:
+            root = self.world.config.root
+        seq = self._seq
+        self._seq += 1
+        engine = self._engine
+        tel = self.stats.telemetry
+        span = None
+        if tel is not None:
+            span = tel.begin(
+                span_name, self.node.node_id, "app", seq=seq, root=root
+            )
+        # The user-level doorbell: hand the contribution to the engine.
+        yield from self.node.cpu.busy(self.params.udma_init_us, "barrier")
+        body = b"" if value is None else _VALUE.pack(value)
+        engine.post_local(seq, opcode, OPERATORS[op], root, body, span)
+        result = yield from self._await(seq)
+        # One status poll observes the completion word.
+        yield from self.node.cpu.busy(self.params.poll_us, "barrier")
+        if tel is not None:
+            tel.end(span)
+        return result
+
+    def _await(self, seq: int) -> Generator:
+        engine = self._engine
+        while not engine.has_result(seq):
+            yield from engine.expect(seq).wait()
+        return engine.take_result(seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"Collective(rank={self.rank}/{self.nprocs}, "
+            f"backend={self.world.config.backend!r})"
+        )

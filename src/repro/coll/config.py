@@ -1,0 +1,62 @@
+"""Configuration of the collective-operation layer.
+
+A :class:`CollConfig` selects *where the collective protocol runs*:
+
+- ``backend="nic"`` — the NIC firmware executes the tree state machines.
+  Arriving collective packets are consumed inside the interface (no EISA
+  DMA, no receive pipeline, no notification, no host wakeup); each step
+  costs :attr:`~repro.hardware.params.MachineParams.coll_firmware_us` of
+  NIC time plus :attr:`~repro.hardware.params.MachineParams.coll_combine_us`
+  per combined operand.
+- ``backend="host"`` — the identical tree protocol, but every step bounces
+  through the host: the library polls the arrival (``poll_us``), advances
+  its state machine on the CPU (``coll_host_op_us``) and re-injects each
+  forwarded packet through a user-level doorbell (``udma_init_us``).  Same
+  topology, same wire traffic; the difference between the two backends is
+  exactly the per-hop host involvement the paper's firmware methodology
+  lets one remove.
+
+Both backends use the same spanning tree (:mod:`repro.coll.tree`), so a
+host-vs-NIC comparison isolates the protocol-agent choice from the
+communication-structure choice.  The third point of comparison — the
+NX library's host-side *dissemination* barrier over point-to-point
+messages — is what :class:`~repro.msg.nx.NXWorld` runs when no
+``CollConfig`` is attached at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["CollConfig", "DEFAULT_COLL_CONFIG", "REDUCE_OPS"]
+
+#: Reduce operators the combining engines implement.  ``fadd`` is the
+#: fetch-and-add of the combining-network lineage: every rank receives the
+#: sum of the contributions combined *before* its own (exclusive prefix in
+#: tree pre-order), and the root observes the total.
+REDUCE_OPS = ("sum", "min", "max", "fadd")
+
+
+@dataclass(frozen=True)
+class CollConfig:
+    """Where and how collectives run."""
+
+    #: "nic" (firmware state machines) or "host" (library state machines).
+    backend: str = "nic"
+    #: Default tree root (rank/node id).  Per-operation roots are allowed
+    #: for broadcast and reduce; this is the root barriers and allreduce
+    #: fan into.
+    root: int = 0
+
+    def __post_init__(self):
+        if self.backend not in ("nic", "host"):
+            raise ValueError(f"unknown collective backend {self.backend!r}")
+        if self.root < 0:
+            raise ValueError("tree root must be a valid node id")
+
+    def with_overrides(self, **overrides: Any) -> "CollConfig":
+        return replace(self, **overrides)
+
+
+DEFAULT_COLL_CONFIG = CollConfig()

@@ -1,0 +1,476 @@
+"""Collective protocol engines: firmware state machines on every NIC.
+
+One :class:`CollEngine` runs per (node, collective world).  It owns an
+event queue fed from two sides — collective packets the NIC's receive path
+hands over (:meth:`repro.nic.interface.ShrimpNIC._post_delivery` consumes
+``PacketKind.COLLECTIVE`` arrivals *inside the interface*: no EISA DMA, no
+receive pipeline, no notification, no host wakeup) and local contributions
+posted by the rank through a user-level doorbell — and a daemon process
+that drains it, advancing per-operation state machines:
+
+* **up phase** (barrier/reduce/allreduce/fetch-and-add): wait for one
+  operand per tree child plus the local contribution, fold them as they
+  arrive (the CombiningEngine accumulation pattern: partial results live
+  in NIC state, one combine step per operand), then forward one combined
+  operand up — fan-in combining at every interior switch.
+* **down phase**: the root releases the tree — replication at every
+  interior switch — carrying nothing (barrier), the total (allreduce),
+  per-subtree prefix bases (fetch-and-add), or pipelined data chunks
+  (broadcast).
+
+The same machinery runs in two cost models, selected by
+:class:`~repro.coll.config.CollConfig`:
+
+* ``backend="nic"`` — each event costs ``coll_firmware_us`` of NIC time
+  (plus ``coll_combine_us`` per folded operand) in this daemon; the host
+  CPU is never involved between a rank's doorbell and its completion poll.
+* ``backend="host"`` — the identical protocol, but every step charges the
+  node's CPU (``poll_us`` to observe an arrival, ``coll_host_op_us`` to
+  advance the state machine, ``udma_init_us`` per re-injected packet), so
+  protocol work contends with application computation and every tree hop
+  pays host software costs.  Arrivals still bypass the DMA/notification
+  path in both backends — the host backend isolates *per-hop CPU
+  involvement*, which is the design choice under study.
+
+Determinism: the daemon is the only emitter, events are processed in
+queue order, and all naming is derived from (world tag, node, sequence
+number), so same-seed runs produce identical packet and telemetry streams.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..network.packet import Packet, PacketKind
+from ..sim import Queue, Signal
+
+__all__ = [
+    "CollDispatcher",
+    "CollEngine",
+    "OP_BARRIER",
+    "OP_REDUCE",
+    "OP_ALLREDUCE",
+    "OP_BCAST",
+    "OP_FADD",
+    "OPERATORS",
+]
+
+#: Wire header of every collective packet: world tag, sequence number,
+#: opcode, flags, tree root.  Carried at the front of ``Packet.payload``
+#: (collective packets never address memory, so frame/offset are unused).
+HEADER = struct.Struct("<HIBBH")
+_VALUE = struct.Struct("<d")
+
+OP_BARRIER = 1
+OP_REDUCE = 2
+OP_ALLREDUCE = 3
+OP_BCAST = 4
+OP_FADD = 5
+
+_OP_NAMES = {
+    OP_BARRIER: "barrier",
+    OP_REDUCE: "reduce",
+    OP_ALLREDUCE: "allreduce",
+    OP_BCAST: "bcast",
+    OP_FADD: "fadd",
+}
+
+#: flags bit 0: down-phase packet (root -> leaves).
+FLAG_DOWN = 0x01
+#: flags bit 1: final broadcast chunk.
+FLAG_LAST = 0x02
+#: flags bits 4-5: reduce operator.
+_OPERATOR_SHIFT = 4
+OPERATORS = {"sum": 0, "min": 1, "max": 2}
+
+_COMBINE = {
+    0: lambda a, b: a + b,
+    1: min,
+    2: max,
+}
+
+
+class CollDispatcher:
+    """The per-NIC fan-out from ``nic.coll_engine`` to per-world engines.
+
+    A NIC may serve several collective worlds (each with its own tag);
+    the receive path calls :meth:`on_packet` synchronously and the
+    dispatcher routes on the tag in the packet header.
+    """
+
+    def __init__(self, nic):
+        self.nic = nic
+        self._engines: Dict[int, "CollEngine"] = {}
+
+    def register(self, tag: int, engine: "CollEngine") -> None:
+        if tag in self._engines:
+            raise ValueError(f"collective tag {tag} already registered")
+        self._engines[tag] = engine
+
+    def on_packet(self, packet: Packet) -> None:
+        (tag,) = struct.unpack_from("<H", packet.payload)
+        engine = self._engines.get(tag)
+        if engine is None:
+            self.nic.stats.count("coll.orphan_packets")
+            return
+        engine.enqueue_packet(packet)
+
+
+class _OpState:
+    """One in-flight collective operation on one node."""
+
+    __slots__ = (
+        "opcode",
+        "operator",
+        "root",
+        "pending",
+        "have_local",
+        "local_value",
+        "acc",
+        "child_sums",
+        "chunks",
+    )
+
+    def __init__(self, opcode: int, operator: int, root: int, children):
+        self.opcode = opcode
+        self.operator = operator
+        self.root = root
+        #: Children whose up-phase operand has not arrived yet.
+        self.pending = set(children)
+        self.have_local = False
+        self.local_value: float = 0.0
+        #: Folded partial result (reduce/allreduce).
+        self.acc: Optional[float] = None
+        #: Per-child subtree sums, kept for the fetch-and-add down phase.
+        self.child_sums: Dict[int, float] = {}
+        #: Broadcast chunks received so far.
+        self.chunks: List[bytes] = []
+
+
+class CollEngine:
+    """The collective state machines of one node in one world."""
+
+    def __init__(self, world, node, backend: str):
+        self.world = world
+        self.node = node
+        self.nic = node.nic
+        self.sim = node.sim
+        self.stats = node.stats
+        self.params = node.params
+        self.node_id = node.node_id
+        self.backend = backend
+        self._events: Queue = Queue(
+            node.sim, name=f"coll{world.tag}.n{node.node_id}.events"
+        )
+        self._states: Dict[int, _OpState] = {}
+        self._completions: Dict[int, Signal] = {}
+        #: Results of completed operations the local rank has not yet
+        #: collected.  Buffered (rather than passed through the signal)
+        #: because a remotely-driven completion — a broadcast chunk train —
+        #: can finish before the rank even starts waiting.
+        self._results: Dict[int, object] = {}
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.spawn(
+            self._firmware(),
+            f"coll{self.world.tag}.fw.n{self.node_id}",
+            daemon=True,
+        )
+
+    # -- event intake -----------------------------------------------------
+
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Called synchronously from the NIC receive path."""
+        _tag, seq, opcode, flags, root = HEADER.unpack_from(packet.payload)
+        body = packet.payload[HEADER.size :]
+        self._events.put(
+            ("pkt", seq, opcode, flags, root, body, packet.span, packet.src)
+        )
+
+    def expect(self, seq: int) -> Signal:
+        """The completion signal the local rank will wait on for ``seq``."""
+        signal = self._completions.get(seq)
+        if signal is None:
+            signal = Signal(
+                self.sim, f"coll{self.world.tag}.n{self.node_id}.s{seq}"
+            )
+            self._completions[seq] = signal
+        return signal
+
+    def post_local(
+        self,
+        seq: int,
+        opcode: int,
+        operator: int,
+        root: int,
+        body: bytes,
+        parent_span: Optional[int],
+    ) -> None:
+        """Doorbell: the local rank's contribution enters the event queue."""
+        self._events.put(
+            ("local", seq, opcode, operator << _OPERATOR_SHIFT, root, body,
+             parent_span, None)
+        )
+
+    # -- the firmware daemon ----------------------------------------------
+
+    def _firmware(self) -> Generator:
+        params = self.params
+        host = self.backend == "host"
+        cpu = self.node.cpu
+        get = self._events.get
+        while True:
+            kind, seq, opcode, flags, root, body, span, src = yield from get()
+            tel = self.stats.telemetry
+            fw_span = None
+            if tel is not None:
+                fw_span = tel.begin(
+                    "coll.host" if host else "coll.fw",
+                    self.node_id,
+                    "app" if host else "nic.fw",
+                    parent=span,
+                    op=_OP_NAMES.get(opcode, opcode),
+                    seq=seq,
+                    src=src,
+                )
+            # The protocol step itself: firmware decode-and-advance on the
+            # NIC backend; a status poll (packet arrivals only) plus a
+            # library state-machine step on the host backend.
+            if host:
+                cost = params.coll_host_op_us
+                if kind == "pkt":
+                    cost += params.poll_us
+                yield from cpu.busy(cost, "barrier")
+            else:
+                yield params.coll_firmware_us
+            yield from self._handle(
+                kind, seq, opcode, flags, root, body, src, fw_span
+            )
+            if tel is not None:
+                tel.end(fw_span)
+
+    # -- state machines ---------------------------------------------------
+
+    def _state(self, seq: int, opcode: int, flags: int, root: int) -> _OpState:
+        state = self._states.get(seq)
+        if state is None:
+            operator = (flags >> _OPERATOR_SHIFT) & 0x3
+            tree = self.world.tree(root)
+            state = _OpState(opcode, operator, root, tree.children[self.node_id])
+            self._states[seq] = state
+        return state
+
+    def _handle(
+        self,
+        kind: str,
+        seq: int,
+        opcode: int,
+        flags: int,
+        root: int,
+        body: bytes,
+        src: Optional[int],
+        fw_span: Optional[int],
+    ) -> Generator:
+        if opcode == OP_BCAST:
+            if kind == "local":
+                yield from self._bcast_root(seq, root, body, fw_span)
+            else:
+                yield from self._bcast_chunk(seq, root, flags, body, fw_span)
+            return
+        state = self._state(seq, opcode, flags, root)
+        if flags & FLAG_DOWN:
+            yield from self._down(seq, state, body, fw_span)
+            return
+        # Up phase: fold one operand (local contribution or child result).
+        value = _VALUE.unpack(body)[0] if body else 0.0
+        if kind == "local":
+            state.have_local = True
+            state.local_value = value
+        else:
+            state.pending.discard(src)
+            if opcode == OP_FADD:
+                state.child_sums[src] = value
+                if self.backend == "nic":
+                    # Folding a child subtree sum into the running total.
+                    yield self.params.coll_combine_us
+        if opcode in (OP_REDUCE, OP_ALLREDUCE):
+            if state.acc is None:
+                state.acc = value
+            else:
+                state.acc = _COMBINE[state.operator](state.acc, value)
+                if self.backend == "nic":
+                    # One accumulate step per folded operand (the
+                    # CombiningEngine pattern); host-backend folding is
+                    # inside coll_host_op_us.
+                    yield self.params.coll_combine_us
+        if state.have_local and not state.pending:
+            yield from self._up_complete(seq, state, fw_span)
+
+    def _up_complete(
+        self, seq: int, state: _OpState, fw_span: Optional[int]
+    ) -> Generator:
+        """All operands are in: forward up, or (at the root) release down."""
+        tree = self.world.tree(state.root)
+        node = self.node_id
+        opcode = state.opcode
+        if opcode == OP_FADD:
+            subtree = state.local_value + sum(state.child_sums.values())
+        else:
+            subtree = state.acc if state.acc is not None else 0.0
+        if node != state.root:
+            body = b""
+            if opcode != OP_BARRIER:
+                body = _VALUE.pack(subtree)
+            yield from self._emit(
+                tree.parent[node], seq, opcode, 0, state.root, body, fw_span
+            )
+            if opcode == OP_REDUCE:
+                # Non-root ranks are released as soon as their subtree has
+                # been contributed; only the root observes the result.
+                self._complete(seq, None)
+                del self._states[seq]
+            return
+        # Root: the up phase is done — release the tree.
+        if opcode == OP_BARRIER:
+            self._complete(seq, None)
+            yield from self._fan_down(tree, seq, opcode, state, b"", fw_span)
+            del self._states[seq]
+        elif opcode == OP_REDUCE:
+            self._complete(seq, subtree)
+            del self._states[seq]
+        elif opcode == OP_ALLREDUCE:
+            self._complete(seq, subtree)
+            yield from self._fan_down(
+                tree, seq, opcode, state, _VALUE.pack(subtree), fw_span
+            )
+            del self._states[seq]
+        elif opcode == OP_FADD:
+            # Exclusive prefix in tree pre-order: the root is first (base
+            # 0); child i's subtree starts after the root's own value and
+            # every earlier child's whole subtree.
+            self._complete(seq, 0.0)
+            yield from self._fadd_down(tree, seq, state, 0.0, fw_span)
+            del self._states[seq]
+
+    def _down(
+        self, seq: int, state: _OpState, body: bytes, fw_span: Optional[int]
+    ) -> Generator:
+        """A release from the parent: deliver locally, replicate downward."""
+        tree = self.world.tree(state.root)
+        opcode = state.opcode
+        if opcode == OP_BARRIER:
+            self._complete(seq, None)
+            yield from self._fan_down(tree, seq, opcode, state, b"", fw_span)
+        elif opcode == OP_ALLREDUCE:
+            value = _VALUE.unpack(body)[0]
+            self._complete(seq, value)
+            yield from self._fan_down(tree, seq, opcode, state, body, fw_span)
+        elif opcode == OP_FADD:
+            base = _VALUE.unpack(body)[0]
+            self._complete(seq, base)
+            yield from self._fadd_down(tree, seq, state, base, fw_span)
+        del self._states[seq]
+
+    def _fan_down(
+        self, tree, seq, opcode, state, body: bytes, fw_span
+    ) -> Generator:
+        for child in tree.children[self.node_id]:
+            yield from self._emit(
+                child, seq, opcode, FLAG_DOWN, state.root, body, fw_span
+            )
+
+    def _fadd_down(
+        self, tree, seq: int, state: _OpState, base: float, fw_span
+    ) -> Generator:
+        """Distribute prefix bases: pre-order, so a child's base covers this
+        node's own value plus every earlier sibling's subtree."""
+        cursor = base + state.local_value
+        for child in tree.children[self.node_id]:
+            yield from self._emit(
+                child, seq, OP_FADD, FLAG_DOWN, state.root,
+                _VALUE.pack(cursor), fw_span,
+            )
+            cursor += state.child_sums[child]
+
+    # -- broadcast --------------------------------------------------------
+
+    def _bcast_root(
+        self, seq: int, root: int, data: bytes, fw_span
+    ) -> Generator:
+        """Root-side broadcast: chunk and push down, pipelined per chunk."""
+        tree = self.world.tree(root)
+        children = tree.children[self.node_id]
+        chunk_bytes = max(1, self.params.max_packet_bytes - HEADER.size)
+        chunks = [
+            data[i : i + chunk_bytes] for i in range(0, len(data), chunk_bytes)
+        ] or [b""]
+        for i, chunk in enumerate(chunks):
+            flags = FLAG_DOWN | (FLAG_LAST if i == len(chunks) - 1 else 0)
+            for child in children:
+                yield from self._emit(
+                    child, seq, OP_BCAST, flags, root, chunk, fw_span
+                )
+        self._complete(seq, data)
+
+    def _bcast_chunk(
+        self, seq: int, root: int, flags: int, body: bytes, fw_span
+    ) -> Generator:
+        """Interior/leaf broadcast: replicate downward, then deliver."""
+        state = self._state(seq, OP_BCAST, flags, root)
+        tree = self.world.tree(root)
+        # Forward first (cut-through replication), then account locally.
+        for child in tree.children[self.node_id]:
+            yield from self._emit(
+                child, seq, OP_BCAST, flags, root, body, fw_span
+            )
+        state.chunks.append(body)
+        if flags & FLAG_LAST:
+            self._complete(seq, b"".join(state.chunks))
+            del self._states[seq]
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _complete(self, seq: int, result) -> None:
+        self.stats.count("coll.ops_completed")
+        self._results[seq] = result
+        signal = self._completions.pop(seq, None)
+        if signal is not None:
+            signal.fire()
+
+    def has_result(self, seq: int) -> bool:
+        return seq in self._results
+
+    def take_result(self, seq: int):
+        return self._results.pop(seq)
+
+    def _emit(
+        self,
+        dst: int,
+        seq: int,
+        opcode: int,
+        flags: int,
+        root: int,
+        body: bytes,
+        fw_span: Optional[int],
+    ) -> Generator:
+        payload = HEADER.pack(self.world.tag, seq, opcode, flags, root) + body
+        packet = Packet(
+            src=self.node_id,
+            dst=dst,
+            dst_frame=0,
+            offset=0,
+            payload=payload,
+            kind=PacketKind.COLLECTIVE,
+            seq=seq,
+        )
+        packet.span = fw_span
+        if self.backend == "host":
+            # The host library re-injects through the user-level doorbell.
+            yield from self.node.cpu.busy(self.params.udma_init_us, "barrier")
+        yield from self.nic.send_control(packet)
+        self.stats.count("coll.packets")

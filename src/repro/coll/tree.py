@@ -1,0 +1,107 @@
+"""Spanning trees over the 2-D mesh for in-network collectives.
+
+The tree for root *r* is derived from the backplane's own XY routes: every
+member's parent is the first hop of ``xy_route(member, r)``.  Because XY
+routing is deterministic and prefix-closed (the route from any node on the
+path to the root is a suffix of the original route), the parent pointers
+can never form a cycle and every up-phase packet travels exactly the links
+an ordinary point-to-point message to the root would — fan-in *combining*
+happens wherever two members' routes merge, which on a mesh is precisely
+the switch where the physical paths meet.  The down phase (release,
+broadcast, prefix distribution) retraces the same edges in reverse, so
+in-switch *replication* also happens at the merge points.
+
+Membership must be **closed under routing**: every intermediate node of
+every member→root route must itself be a member, otherwise an interior
+combining step would have to run on a node that has no engine for this
+world.  For the standard case — members ``0..n-1`` of a row-major mesh and
+any member root — closure holds structurally: the X leg of a route stays
+inside the member's own row (ids differ by less than the mesh width within
+``max(src, root)``'s row-major prefix) and the Y leg moves toward the
+root's row in full-width strides, only ever through ids between the
+endpoints'.  ``SpanningTree`` verifies closure at construction regardless,
+so irregular member sets fail loudly instead of mis-routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.topology import MeshTopology
+
+__all__ = ["SpanningTree"]
+
+
+class SpanningTree:
+    """A rooted spanning tree of ``members`` embedded in ``mesh``.
+
+    ``parent[root]`` is ``None``; every other member's parent is its XY
+    next hop toward the root.  ``children`` lists are sorted by node id —
+    the canonical order used for fetch-and-add prefix assignment (tree
+    DFS pre-order, the order a combining network serializes requests in).
+    """
+
+    def __init__(self, mesh: MeshTopology, members: Sequence[int], root: int):
+        members = sorted(set(members))
+        if root not in members:
+            raise ValueError(f"root {root} is not a member of {members}")
+        self.mesh = mesh
+        self.members: Tuple[int, ...] = tuple(members)
+        self.root = root
+        member_set = set(members)
+        self.parent: Dict[int, Optional[int]] = {root: None}
+        self.children: Dict[int, List[int]] = {m: [] for m in members}
+        for node in members:
+            if node == root:
+                continue
+            route = mesh.xy_route(node, root)
+            for link in route:
+                if link[1] not in member_set:
+                    raise ValueError(
+                        f"member set {members} is not closed under XY "
+                        f"routing: route {node}->{root} passes through "
+                        f"non-member {link[1]}"
+                    )
+            parent = route[0][1]
+            self.parent[node] = parent
+            self.children[parent].append(node)
+        for kids in self.children.values():
+            kids.sort()
+        self.depth: Dict[int, int] = {root: 0}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in self.children[node]:
+                self.depth[child] = self.depth[node] + 1
+                stack.append(child)
+        if len(self.depth) != len(members):  # pragma: no cover - closure
+            raise ValueError("spanning tree does not reach every member")
+
+    @property
+    def height(self) -> int:
+        return max(self.depth.values())
+
+    def fanin(self, node: int) -> int:
+        """Operands combined at ``node``: one per child plus its own."""
+        return len(self.children[node]) + 1
+
+    def preorder(self) -> List[int]:
+        """Members in DFS pre-order (children visited in id order).
+
+        This is the serialization order of the combining network: the
+        fetch-and-add prefix a member observes is the sum of the
+        contributions of everyone before it in this order.
+        """
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(self.children[node]))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanningTree(root={self.root}, members={len(self.members)}, "
+            f"height={self.height})"
+        )

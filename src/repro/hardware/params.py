@@ -109,6 +109,20 @@ class MachineParams:
     fifo_capacity: int = 32 * 1024
     fifo_threshold_fraction: float = 0.75
 
+    # --- NIC collective firmware (repro.coll) ---------------------------
+    #: Firmware state-machine step per collective packet or local arrival
+    #: (decode, state lookup/update, completion check) when the NIC runs
+    #: the collective protocol itself.
+    coll_firmware_us: float = 0.4
+    #: Extra firmware cost per operand folded into a partial reduce result
+    #: (the switch-combining accumulate of the Ultracomputer lineage).
+    coll_combine_us: float = 0.1
+    #: Host-backend protocol step per collective packet: the library
+    #: observes the arrival and advances its state machine on the CPU.
+    #: Charged on top of ``poll_us`` (status-word read) and the
+    #: ``udma_init_us`` doorbell per re-injected packet.
+    coll_host_op_us: float = 1.5
+
     # --- software costs ------------------------------------------------
     #: CPU memcpy bandwidth (library-level copies in/out of buffers).
     memcpy_bandwidth: float = 45.0

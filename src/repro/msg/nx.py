@@ -39,7 +39,16 @@ _REDUCE_BASE = (1 << 24) + 16384
 
 
 class NXWorld:
-    """Shared configuration for one NX job."""
+    """Shared configuration for one NX job.
+
+    ``coll`` switches the collective calls (``gsync``, ``broadcast``, and
+    ``allreduce`` when given a named operator) from the host-synthesized
+    point-to-point algorithms below to the in-network engines of
+    :mod:`repro.coll` — the paper-style knob comparing host-side and
+    NIC-side protocol placement without touching application code.  The
+    point-to-point calls are unaffected.  Requires rank *r* to live on
+    node *r* (the collective trees are embedded in the physical mesh).
+    """
 
     _tags = 0
 
@@ -49,6 +58,7 @@ class NXWorld:
         nprocs: int,
         transport: str = "du",
         ring_bytes: int = 16 * 1024,
+        coll=None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -61,6 +71,11 @@ class NXWorld:
         NXWorld._tags += 1
         self.tag = NXWorld._tags
         self.ranks: Dict[int, "NXRank"] = {}
+        self.coll_world = None
+        if coll is not None:
+            from ..coll import CollWorld
+
+            self.coll_world = CollWorld(runtime.machine, nprocs, coll)
 
     def join(self, rank: int, proc: NodeProcess) -> Generator:
         """Create rank ``rank`` on ``proc``; returns an :class:`NXRank`.
@@ -72,6 +87,8 @@ class NXWorld:
             raise ValueError(f"rank {rank} outside world of {self.nprocs}")
         endpoint = self.runtime.endpoint(proc)
         nx_rank = NXRank(self, rank, endpoint)
+        if self.coll_world is not None:
+            nx_rank._coll = self.coll_world.join(rank, proc)
         self.ranks[rank] = nx_rank
         yield from nx_rank._init()
         return nx_rank
@@ -95,6 +112,9 @@ class NXRank:
         #: Fully reassembled messages awaiting crecv: (src, type, data).
         self._pending: List[Tuple[int, int, bytes]] = []
         self._new_message = Signal(endpoint.sim, f"nx{rank}.msg")
+        #: In-network collective handle (set by NXWorld.join when the
+        #: world was built with a ``coll`` config; None: host-side paths).
+        self._coll = None
         self.messages_sent = 0
         self.messages_received = 0
 
@@ -247,7 +267,12 @@ class NXRank:
     # -- collectives ----------------------------------------------------------
 
     def gsync(self) -> Generator:
-        """Dissemination barrier over point-to-point messages."""
+        """Barrier: in-network when the world has a ``coll`` config,
+        host-side dissemination over point-to-point messages otherwise."""
+        if self._coll is not None:
+            yield from self._coll.barrier()
+            self.endpoint.stats.count("nx.barriers")
+            return
         nprocs = self.nprocs
         if nprocs == 1:
             return
@@ -270,7 +295,12 @@ class NXRank:
             tel.end(span, rounds=round_no)
 
     def broadcast(self, root: int, data: Optional[bytes]) -> Generator:
-        """Binomial-tree broadcast; returns the data on every rank."""
+        """Broadcast; returns the data on every rank.  In-network
+        (switch-replicated spanning tree) with a ``coll`` config,
+        host-side binomial tree otherwise."""
+        if self._coll is not None:
+            result = yield from self._coll.bcast(root, data)
+            return result
         nprocs = self.nprocs
         if nprocs == 1:
             return data
@@ -304,9 +334,23 @@ class NXRank:
             parts[src] = payload
         return parts  # type: ignore[return-value]
 
-    def allreduce(self, value: float, op: Callable[[float, float], float]) -> Generator:
+    def allreduce(
+        self,
+        value: float,
+        op: Callable[[float, float], float],
+        name: Optional[str] = None,
+    ) -> Generator:
         """Allreduce of one float (recursive doubling; allgather fallback
-        for non-power-of-two worlds, where doubling would double-count)."""
+        for non-power-of-two worlds, where doubling would double-count).
+
+        ``name`` identifies the operator ("sum"/"min"/"max") so that a
+        world with a ``coll`` config can run it on the in-network
+        combining engines; an unnamed ``op`` is an arbitrary Python
+        callable, which only the host-side path can evaluate.
+        """
+        if self._coll is not None and name in ("sum", "min", "max"):
+            result = yield from self._coll.allreduce(value, op=name)
+            return result
         nprocs = self.nprocs
         if nprocs & (nprocs - 1):
             parts = yield from self.allgather(struct.pack("<d", value))

@@ -30,6 +30,11 @@ class PacketKind(enum.Enum):
     #: Endpoint-level control traffic (acks of the reliable-delivery mode).
     #: Carried like data on the wire but never written to memory.
     CONTROL = "ctl"
+    #: In-network collective traffic (repro.coll): consumed by the NIC's
+    #: collective engine — never DMA'd into host memory and never eligible
+    #: for notification interrupts.  Carried like data on the wire, so
+    #: collective protocols contend for the same links as everything else.
+    COLLECTIVE = "coll"
 
 
 @slotted_dataclass

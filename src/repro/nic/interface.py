@@ -105,6 +105,13 @@ class ShrimpNIC:
         #: and zero overhead on the receive/send paths.
         self.fault_plan = None
 
+        #: Installed by repro.coll.CollWorld: the per-node collective
+        #: dispatcher.  None (the default) means this NIC runs no firmware
+        #: collectives and the receive path pays one predicate check per
+        #: packet — the same zero-overhead-when-off contract as faults,
+        #: telemetry and the monitor.
+        self.coll_engine = None
+
         # Hot-path counter handles, bound lazily on first use so unused
         # counters never appear (zero-valued) in stats snapshots.
         self._rx_packets_counter = None
@@ -325,19 +332,22 @@ class ShrimpNIC:
                 stats.trace("fault.corrupt_discard", node_id, repr(packet))
                 continue
             data_bytes = packet.data_bytes
-            # Incoming DMA into main memory: each fragment is an individual
-            # EISA bus transaction — the bandwidth penalty that makes
-            # uncombined automatic update collapse for bulk data
-            # (section 4.5.1).
-            yield from bus_transfer(
-                data_bytes,
-                bandwidth=eisa_bandwidth,
-                transactions=fragments,
-                transaction_us=eisa_transaction_us,
-            )
-            if packet.kind is not PacketKind.CONTROL:
-                base = memory.frame_base(packet.dst_frame)
-                memory.write(base + packet.offset, packet.payload)
+            if packet.kind is not PacketKind.COLLECTIVE:
+                # Incoming DMA into main memory: each fragment is an
+                # individual EISA bus transaction — the bandwidth penalty
+                # that makes uncombined automatic update collapse for bulk
+                # data (section 4.5.1).  Collective packets never cross
+                # EISA: the firmware consumes them inside the NIC, which is
+                # precisely the cost the in-network protocol removes.
+                yield from bus_transfer(
+                    data_bytes,
+                    bandwidth=eisa_bandwidth,
+                    transactions=fragments,
+                    transaction_us=eisa_transaction_us,
+                )
+                if packet.kind is not PacketKind.CONTROL:
+                    base = memory.frame_base(packet.dst_frame)
+                    memory.write(base + packet.offset, packet.payload)
             self._rx_fill -= packet.size
             if tel is not None:
                 tel.timeline(f"rxfifo.n{node_id}", node=node_id).record(
@@ -367,6 +377,16 @@ class ShrimpNIC:
         arrival.  A single pipeline process applies effects strictly in
         arrival order.
         """
+        if packet.kind is PacketKind.COLLECTIVE:
+            # NIC-resident reaction: the collective engine sees the packet
+            # as soon as its header is in the FIFO — no receive pipeline,
+            # no IPT lookup, no notification, no host process wakeup.
+            engine = self.coll_engine
+            if engine is not None:
+                engine.on_packet(packet)
+            else:
+                self.stats.count("coll.orphan_packets")
+            return
         delay = self.params.rx_pipeline_us
         if packet.kind is PacketKind.CONTROL:
             # Control packets carry no notification semantics; they only

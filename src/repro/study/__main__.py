@@ -2,13 +2,13 @@
 
 Usage::
 
-    python -m repro.study [table1|table2|table3|table4|figure3|figure4|
-                           combining|fifo|queueing|reliability|serve|
-                           micro|all]
-                          [--nodes N]
+    python -m repro.study [FAMILY] [--nodes N]
 
-``serve`` sweeps the serving tier (load x balancer x fault); it is not
-part of ``all``.
+``python -m repro.study --help`` lists every family with a one-line
+description.  ``all`` regenerates the paper-grounded families only;
+growth-direction families (``serve``, ``coll``) are excluded so that the
+output of ``all`` stays byte-stable as new families are added — run them
+by name.
 """
 
 from __future__ import annotations
@@ -17,12 +17,14 @@ import argparse
 import sys
 
 from . import (
+    coll_study,
     combining_study,
     default_runner,
     figure3,
     figure4_du_au,
     figure4_svm,
     fifo_study,
+    format_coll_study,
     format_combining_study,
     format_fifo_study,
     format_figure3,
@@ -46,62 +48,138 @@ from . import (
 )
 
 
+def _micro(runner, nodes):
+    micro = run_microbenchmarks()
+    return (
+        "Microbenchmarks (paper: DU 6 us, AU 3.71 us, UDMA < 2 us):\n"
+        f"  DU one-word latency : {micro.du_word_latency_us:6.2f} us\n"
+        f"  AU one-word latency : {micro.au_word_latency_us:6.2f} us\n"
+        f"  DU send overhead    : {micro.du_send_overhead_us:6.2f} us\n"
+        f"  DU bulk bandwidth   : {micro.du_bulk_bandwidth_mbs:6.1f} MB/s\n"
+        f"  AU bulk bandwidth   : {micro.au_bulk_bandwidth_mbs:6.1f} MB/s"
+    )
+
+
+#: Every study family: name -> (description, in_all, emit(runner, nodes)).
+#: ``in_all`` families reproduce the paper's own tables/figures and run
+#: under ``all``; the others study growth directions and are excluded so
+#: ``all`` stays byte-stable — run them by name.
+FAMILIES = {
+    "micro": (
+        "latency/bandwidth microbenchmarks vs the paper's numbers",
+        True,
+        _micro,
+    ),
+    "table1": (
+        "Table 1: communication-layer latencies by API",
+        True,
+        lambda runner, nodes: format_table1(table1(runner)),
+    ),
+    "figure3": (
+        "Figure 3: application speedups over one node",
+        True,
+        lambda runner, nodes: format_figure3(figure3(runner)),
+    ),
+    "figure4": (
+        "Figure 4: SVM and DU-vs-AU improvement breakdowns",
+        True,
+        lambda runner, nodes: "\n\n".join(
+            (
+                format_figure4_svm(figure4_svm(runner, nodes)),
+                format_figure4_du_au(figure4_du_au(runner, nodes)),
+            )
+        ),
+    ),
+    "table2": (
+        "Table 2: system call on every send (what-if)",
+        True,
+        lambda runner, nodes: format_table2(table2(runner, nodes)),
+    ),
+    "table3": (
+        "Table 3: notification counts and costs",
+        True,
+        lambda runner, nodes: format_table3(table3(runner, nodes)),
+    ),
+    "table4": (
+        "Table 4: interrupt on every arriving message (what-if)",
+        True,
+        lambda runner, nodes: format_table4(table4(runner, nodes)),
+    ),
+    "combining": (
+        "AU combining engine on/off across applications",
+        True,
+        lambda runner, nodes: format_combining_study(
+            combining_study(runner, nodes)
+        ),
+    ),
+    "fifo": (
+        "outgoing-FIFO sizing and flow-control sensitivity",
+        True,
+        lambda runner, nodes: format_fifo_study(fifo_study(runner, nodes)),
+    ),
+    "queueing": (
+        "receive-side queueing and ejection-channel sensitivity",
+        True,
+        lambda runner, nodes: format_queueing_study(queueing_study(runner, nodes)),
+    ),
+    "reliability": (
+        "fault injection: drops/corruption vs go-back-N recovery",
+        True,
+        lambda runner, nodes: format_reliability_study(reliability_study(nodes)),
+    ),
+    "serve": (
+        "serving tier: load x balancer x fault SLO sweep (not in `all`)",
+        False,
+        lambda runner, nodes: format_serving_study(serving_study()),
+    ),
+    "coll": (
+        "collectives: host-side vs NIC-resident barrier/allreduce "
+        "(not in `all`)",
+        False,
+        lambda runner, nodes: format_coll_study(
+            coll_study(node_counts=sorted({4, 8, nodes}))
+        ),
+    ),
+}
+
+
+def _epilog() -> str:
+    lines = ["families:"]
+    width = max(len(name) for name in FAMILIES) + 2
+    for name, (description, in_all, _emit) in FAMILIES.items():
+        lines.append(f"  {name:<{width}}{description}")
+    lines.append(f"  {'all':<{width}}every family marked paper-grounded above")
+    lines.append(
+        "\n`all` excludes the growth-direction families (serve, coll): they\n"
+        "extend the paper rather than reproduce it, and excluding them\n"
+        "keeps the byte-stable `all` output from changing as families are\n"
+        "added.  Run those by name."
+    )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description="Regenerate the SHRIMP design-study tables and figures.",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "what",
         nargs="?",
         default="all",
-        choices=[
-            "table1", "table2", "table3", "table4", "figure3", "figure4",
-            "combining", "fifo", "queueing", "reliability", "serve",
-            "micro", "all",
-        ],
+        choices=list(FAMILIES) + ["all"],
+        metavar="FAMILY",
+        help="which family to regenerate (default: all)",
     )
     parser.add_argument("--nodes", type=int, default=16)
     args = parser.parse_args(argv)
     runner = default_runner
     emit = []
-
-    if args.what in ("micro", "all"):
-        micro = run_microbenchmarks()
-        emit.append(
-            "Microbenchmarks (paper: DU 6 us, AU 3.71 us, UDMA < 2 us):\n"
-            f"  DU one-word latency : {micro.du_word_latency_us:6.2f} us\n"
-            f"  AU one-word latency : {micro.au_word_latency_us:6.2f} us\n"
-            f"  DU send overhead    : {micro.du_send_overhead_us:6.2f} us\n"
-            f"  DU bulk bandwidth   : {micro.du_bulk_bandwidth_mbs:6.1f} MB/s\n"
-            f"  AU bulk bandwidth   : {micro.au_bulk_bandwidth_mbs:6.1f} MB/s"
-        )
-    if args.what in ("table1", "all"):
-        emit.append(format_table1(table1(runner)))
-    if args.what in ("figure3", "all"):
-        emit.append(format_figure3(figure3(runner)))
-    if args.what in ("figure4", "all"):
-        emit.append(format_figure4_svm(figure4_svm(runner, args.nodes)))
-        emit.append(format_figure4_du_au(figure4_du_au(runner, args.nodes)))
-    if args.what in ("table2", "all"):
-        emit.append(format_table2(table2(runner, args.nodes)))
-    if args.what in ("table3", "all"):
-        emit.append(format_table3(table3(runner, args.nodes)))
-    if args.what in ("table4", "all"):
-        emit.append(format_table4(table4(runner, args.nodes)))
-    if args.what in ("combining", "all"):
-        emit.append(format_combining_study(combining_study(runner, args.nodes)))
-    if args.what in ("fifo", "all"):
-        emit.append(format_fifo_study(fifo_study(runner, args.nodes)))
-    if args.what in ("queueing", "all"):
-        emit.append(format_queueing_study(queueing_study(runner, args.nodes)))
-    if args.what in ("reliability", "all"):
-        emit.append(format_reliability_study(reliability_study(args.nodes)))
-    if args.what == "serve":
-        # The serving sweep studies the growth direction, not the paper's
-        # own tables; "all" stays byte-stable without it.
-        emit.append(format_serving_study(serving_study()))
-
+    for name, (_description, in_all, emitter) in FAMILIES.items():
+        if args.what == name or (args.what == "all" and in_all):
+            emit.append(emitter(runner, args.nodes))
     print("\n\n".join(emit))
     return 0
 

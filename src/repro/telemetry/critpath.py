@@ -35,9 +35,15 @@ A span's owned time is classified by *position*:
   queue slot, wormhole backpressure, an ack), i.e. contention stall.
 
 ``work`` segments then map to components by the owning span's track
-("app"/"vmmc"/"svm" -> ``cpu``, "nic.tx" -> ``nic_dma``, "net" ->
-``link``, "nic.rx" -> ``rx``, "kernel" -> ``notify``); every ``wait``
-segment is the ``stall`` component.
+("app"/"vmmc"/"svm" -> ``cpu``, "nic.tx"/"nic.fw" -> ``nic_dma``, "net" ->
+``link``, "nic.rx" -> ``rx``, "kernel" -> ``notify``).  ``wait`` segments
+split by the owning span's *name*: waits inside synchronization
+operations (``coll.*`` collectives, the NX ``nx.gsync`` dissemination
+barrier, the SVM ``svm.barrier``) are the ``sync`` component — time spent
+waiting for *other ranks* to arrive or for the release to propagate —
+while every other wait is generic contention ``stall``.  The distinction
+matters because sync waits are load imbalance plus protocol latency, and
+shrink when the collective substrate improves; resource stalls do not.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from .collector import Span, Telemetry
 
 __all__ = [
     "COMPONENTS",
+    "SYNC_SPAN_PREFIXES",
     "PathSegment",
     "Attribution",
     "AggregateAttribution",
@@ -61,7 +68,7 @@ __all__ = [
 ]
 
 #: Attribution components, in reporting order.
-COMPONENTS = ("cpu", "nic_dma", "link", "rx", "notify", "stall", "other")
+COMPONENTS = ("cpu", "nic_dma", "link", "rx", "notify", "sync", "stall", "other")
 
 #: Track name -> component for ``work`` segments.
 COMPONENT_OF_TRACK = {
@@ -69,10 +76,16 @@ COMPONENT_OF_TRACK = {
     "vmmc": "cpu",
     "svm": "cpu",
     "nic.tx": "nic_dma",
+    "nic.fw": "nic_dma",
     "net": "link",
     "nic.rx": "rx",
     "kernel": "notify",
 }
+
+#: Span-name prefixes whose ``wait`` time is synchronization (``sync``)
+#: rather than generic contention (``stall``): waiting for peer ranks in a
+#: barrier/collective, not for a local resource.
+SYNC_SPAN_PREFIXES = ("coll.", "nx.gsync", "svm.barrier")
 
 WORK = "work"
 WAIT = "wait"
@@ -97,6 +110,8 @@ class PathSegment:
     @property
     def component(self) -> str:
         if self.kind == WAIT:
+            if self.name.startswith(SYNC_SPAN_PREFIXES):
+                return "sync"
             return "stall"
         return COMPONENT_OF_TRACK.get(self.track, "other")
 

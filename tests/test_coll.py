@@ -1,0 +1,376 @@
+"""Tests for repro.coll: spanning trees, engines, API and NX integration."""
+
+import pytest
+
+from repro import CollConfig, CollWorld, Machine, VMMCRuntime
+from repro.coll import SpanningTree
+from repro.coll.config import DEFAULT_COLL_CONFIG
+from repro.msg import NXWorld
+from repro.network.topology import MeshTopology
+
+
+def _world(nprocs, backend="nic", **cfg):
+    machine = Machine(num_nodes=nprocs)
+    world = CollWorld(
+        machine, nprocs, CollConfig(backend=backend, **cfg)
+    )
+    return machine, world
+
+
+def _run_ranks(machine, world, body):
+    """Run ``body(coll, rank)`` on every rank; returns results by rank."""
+
+    def worker(rank):
+        coll = world.join(rank, machine.create_process(rank))
+        result = yield from body(coll, rank)
+        return result
+
+    procs = [
+        machine.sim.spawn(worker(r), f"rank{r}") for r in range(world.nprocs)
+    ]
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+    return [p.result for p in procs]
+
+
+# -- spanning trees -------------------------------------------------------
+
+
+def test_tree_follows_xy_routes():
+    mesh = MeshTopology(4, 4)
+    tree = SpanningTree(mesh, range(16), root=0)
+    assert tree.parent[0] is None
+    for node in range(1, 16):
+        assert tree.parent[node] == mesh.xy_route(node, 0)[0][1]
+    # Every member reachable, depth equals hop count (XY routes are
+    # shortest paths, and the parent chain is the XY route itself).
+    assert set(tree.depth) == set(range(16))
+    for node in range(16):
+        assert tree.depth[node] == mesh.hop_count(node, 0)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 7, 12, 16])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_tree_prefix_members_closed_any_root(nprocs, root):
+    """Row-major-prefix member sets are closed under XY routing for any
+    member root, so construction succeeds and covers every member."""
+    mesh = MeshTopology(4, 4)
+    root = nprocs - 1 if root == "last" else 0
+    tree = SpanningTree(mesh, range(nprocs), root=root)
+    assert set(tree.depth) == set(range(nprocs))
+    assert sorted(tree.preorder()) == list(range(nprocs))
+    assert tree.preorder()[0] == root
+
+
+def test_tree_rejects_non_member_root_and_open_membership():
+    mesh = MeshTopology(4, 4)
+    with pytest.raises(ValueError):
+        SpanningTree(mesh, range(4), root=7)
+    # Nodes 0 and 15 route through interior nodes that are not members.
+    with pytest.raises(ValueError):
+        SpanningTree(mesh, [0, 15], root=0)
+
+
+def test_tree_preorder_children_in_id_order():
+    mesh = MeshTopology(4, 4)
+    tree = SpanningTree(mesh, range(16), root=0)
+    order = tree.preorder()
+    position = {node: i for i, node in enumerate(order)}
+    for node, kids in tree.children.items():
+        assert kids == sorted(kids)
+        for child in kids:
+            assert position[child] > position[node]
+
+
+# -- collective semantics ---------------------------------------------------
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 5, 8, 16])
+@pytest.mark.parametrize("backend", ["nic", "host"])
+def test_barrier_synchronizes(nprocs, backend):
+    machine, world = _world(nprocs, backend)
+    entries = []
+
+    def body(coll, rank):
+        from repro.sim import Timeout
+
+        yield Timeout(rank * 31.0)  # stagger arrival
+        entries.append(machine.now)
+        yield from coll.barrier()
+        return machine.now
+
+    exits = _run_ranks(machine, world, body)
+    assert all(t >= max(entries) for t in exits)
+    assert machine.stats.counter_value("coll.barriers") == nprocs
+
+
+@pytest.mark.parametrize("nprocs", [2, 5, 16])
+@pytest.mark.parametrize("op,expected", [
+    ("sum", lambda n: sum(range(1, n + 1))),
+    ("min", lambda n: 1.0),
+    ("max", lambda n: float(n)),
+])
+def test_allreduce_ops(nprocs, op, expected):
+    machine, world = _world(nprocs)
+
+    def body(coll, rank):
+        result = yield from coll.allreduce(float(rank + 1), op=op)
+        return result
+
+    results = _run_ranks(machine, world, body)
+    assert results == [pytest.approx(expected(nprocs))] * nprocs
+
+
+@pytest.mark.parametrize("root", [0, 3, 7])
+def test_reduce_only_root_observes_total(root):
+    machine, world = _world(8)
+
+    def body(coll, rank):
+        result = yield from coll.reduce(float(rank), op="sum", root=root)
+        return result
+
+    results = _run_ranks(machine, world, body)
+    for rank, result in enumerate(results):
+        if rank == root:
+            assert result == pytest.approx(sum(range(8)))
+        else:
+            assert result is None
+
+
+@pytest.mark.parametrize("nprocs", [1, 4, 5, 16])
+def test_fetch_and_add_hands_out_permutation(nprocs):
+    """Contributing 1.0 everywhere, the exclusive prefixes are exactly
+    {0..n-1}: the combining-network ticket-dispenser property."""
+    machine, world = _world(nprocs)
+
+    def body(coll, rank):
+        prefix = yield from coll.fetch_and_add(1.0)
+        return prefix
+
+    results = _run_ranks(machine, world, body)
+    assert sorted(results) == [float(i) for i in range(nprocs)]
+
+
+def test_fetch_and_add_prefixes_follow_preorder():
+    """With distinct contributions, each rank's fetched value equals the
+    sum of the contributions of everyone before it in tree pre-order."""
+    machine, world = _world(8)
+    values = [float(3 * r + 1) for r in range(8)]
+
+    def body(coll, rank):
+        prefix = yield from coll.fetch_and_add(values[rank])
+        return prefix
+
+    results = _run_ranks(machine, world, body)
+    order = world.tree(world.config.root).preorder()
+    running = 0.0
+    for node in order:
+        assert results[node] == pytest.approx(running)
+        running += values[node]
+
+
+@pytest.mark.parametrize("root", [0, 5])
+@pytest.mark.parametrize("nbytes", [0, 11, 4096, 10_000])
+def test_bcast_replicates_from_any_root(root, nbytes):
+    machine, world = _world(8)
+    payload = (bytes(range(256)) * (-(-max(nbytes, 1) // 256)))[:nbytes]
+
+    def body(coll, rank):
+        data = payload if rank == root else None
+        result = yield from coll.bcast(root, data)
+        return result
+
+    results = _run_ranks(machine, world, body)
+    assert results == [payload] * 8
+
+
+def test_back_to_back_mixed_collectives():
+    """Sequence numbers keep overlapping operations separate."""
+    machine, world = _world(5)
+
+    def body(coll, rank):
+        out = []
+        for i in range(3):
+            yield from coll.barrier()
+            total = yield from coll.allreduce(float(rank + i), op="sum")
+            out.append(total)
+            data = yield from coll.bcast(0, bytes([i]) * 8 if rank == 0 else None)
+            out.append(data)
+        return out
+
+    results = _run_ranks(machine, world, body)
+    for result in results:
+        for i in range(3):
+            assert result[2 * i] == pytest.approx(sum(range(5)) + 5 * i)
+            assert result[2 * i + 1] == bytes([i]) * 8
+
+
+def test_two_worlds_coexist_on_one_machine():
+    machine = Machine(num_nodes=4)
+    world_a = CollWorld(machine, 4, CollConfig(backend="nic"))
+    world_b = CollWorld(machine, 4, CollConfig(backend="host"))
+    assert world_a.tag != world_b.tag
+
+    def worker(world, rank, scale):
+        coll = world.join(rank, machine.create_process(rank))
+        result = yield from coll.allreduce(float(scale * (rank + 1)), op="sum")
+        return result
+
+    procs = [
+        machine.sim.spawn(worker(world_a, r, 1), f"a{r}") for r in range(4)
+    ] + [
+        machine.sim.spawn(worker(world_b, r, 10), f"b{r}") for r in range(4)
+    ]
+    machine.sim.run()
+    assert [p.result for p in procs[:4]] == [pytest.approx(10.0)] * 4
+    assert [p.result for p in procs[4:]] == [pytest.approx(100.0)] * 4
+
+
+def test_nic_backend_beats_host_backend():
+    def elapsed(backend):
+        machine, world = _world(16, backend)
+
+        def body(coll, rank):
+            for _ in range(4):
+                yield from coll.barrier()
+            return machine.now
+
+        return max(_run_ranks(machine, world, body))
+
+    assert elapsed("nic") < elapsed("host")
+
+
+def test_nic_backend_never_touches_host_cpu_between_doorbell_and_poll():
+    machine, world = _world(8, "nic")
+
+    def body(coll, rank):
+        yield from coll.barrier()
+        return None
+
+    _run_ranks(machine, world, body)
+    p = machine.params
+    for node in machine.nodes:
+        # Exactly one doorbell and one poll of CPU time per rank.
+        assert node.cpu.total_compute_us == pytest.approx(
+            p.udma_init_us + p.poll_us
+        )
+
+
+def test_collective_packets_bypass_delivery_and_notification():
+    machine, world = _world(8, "nic")
+
+    def body(coll, rank):
+        yield from coll.barrier()
+        total = yield from coll.allreduce(1.0, op="sum")
+        return total
+
+    _run_ranks(machine, world, body)
+    snapshot = machine.stats.snapshot()
+    assert snapshot.get("coll.packets", 0) > 0
+    assert snapshot.get("coll.orphan_packets", 0) == 0
+    # No EISA DMA, no notifications, no interrupts from collectives.
+    assert snapshot.get("cpu.interrupts", 0) == 0
+
+
+# -- validation -------------------------------------------------------------
+
+
+def test_world_and_join_validation():
+    machine = Machine(num_nodes=4)
+    with pytest.raises(ValueError):
+        CollWorld(machine, 0)
+    with pytest.raises(ValueError):
+        CollWorld(machine, 5)
+    with pytest.raises(ValueError):
+        CollWorld(machine, 4, CollConfig(root=4))
+    with pytest.raises(ValueError):
+        CollConfig(backend="smoke-signals")
+    world = CollWorld(machine, 2)
+    with pytest.raises(ValueError):
+        world.join(2, machine.create_process(0))
+    with pytest.raises(ValueError):
+        # Rank must live on its own node: trees are mesh-embedded.
+        world.join(0, machine.create_process(1))
+    coll = world.join(0, machine.create_process(0))
+    with pytest.raises(ValueError):
+        machine.sim.run_process(coll.allreduce(1.0, op="xor"))
+    with pytest.raises(ValueError):
+        machine.sim.run_process(coll.bcast(9, b"x"))
+    assert DEFAULT_COLL_CONFIG.backend == "nic"
+
+
+# -- NX integration ---------------------------------------------------------
+
+
+def _nx_world(nprocs, coll=None):
+    machine = Machine(num_nodes=nprocs)
+    runtime = VMMCRuntime(machine)
+    world = NXWorld(runtime, nprocs, coll=coll)
+    return machine, world
+
+
+def _run_nx(machine, world, body):
+    def worker(rank):
+        nx = yield from world.join(rank, machine.create_process(rank))
+        result = yield from body(nx, rank)
+        return result
+
+    procs = [
+        machine.sim.spawn(worker(r), f"rank{r}") for r in range(world.nprocs)
+    ]
+    machine.sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    assert not stuck, f"deadlocked: {stuck}"
+    return [p.result for p in procs]
+
+
+@pytest.mark.parametrize("nprocs", [2, 5, 8])
+def test_nx_collectives_delegate_to_engines(nprocs):
+    machine, world = _nx_world(nprocs, coll=CollConfig(backend="nic"))
+
+    def body(nx, rank):
+        yield from nx.gsync()
+        total = yield from nx.allreduce(
+            float(rank + 1), lambda a, b: a + b, name="sum"
+        )
+        data = yield from nx.broadcast(0, b"tree" if rank == 0 else None)
+        return (total, data)
+
+    results = _run_nx(machine, world, body)
+    assert results == [(pytest.approx(sum(range(1, nprocs + 1))), b"tree")] * nprocs
+    # The engines, not the point-to-point rings, carried the collectives.
+    assert machine.stats.counter_value("coll.packets") > 0
+    assert machine.stats.counter_value("nx.barriers") == nprocs
+    assert all(world.ranks[r].messages_sent == 0 for r in range(nprocs))
+
+
+def test_nx_unnamed_allreduce_stays_host_side():
+    machine, world = _nx_world(4, coll=CollConfig(backend="nic"))
+
+    def body(nx, rank):
+        # An arbitrary callable cannot run on the combining engines.
+        result = yield from nx.allreduce(float(rank), lambda a, b: a + b)
+        return result
+
+    results = _run_nx(machine, world, body)
+    assert results == [pytest.approx(sum(range(4)))] * 4
+    assert all(world.ranks[r].messages_sent > 0 for r in range(4))
+
+
+def test_nx_gsync_faster_in_network_at_16_nodes():
+    def barrier_time(coll):
+        machine, world = _nx_world(16, coll=coll)
+
+        def body(nx, rank):
+            yield from nx.gsync()  # warmup: absorb join skew
+            start = machine.now
+            for _ in range(4):
+                yield from nx.gsync()
+            return (machine.now - start) / 4
+
+        return max(_run_nx(machine, world, body))
+
+    host = barrier_time(None)
+    nic = barrier_time(CollConfig(backend="nic"))
+    assert nic < host

@@ -227,3 +227,92 @@ def test_notification_cost_recorded_as_instant():
     assert notifies[0].args["cost_us"] == pytest.approx(
         p.interrupt_null_us + p.notification_dispatch_us
     )
+
+
+# -- sync component (collective / barrier waits) --------------------------
+
+
+def _coll_barrier_roots(backend):
+    from repro.coll import CollConfig, CollWorld
+
+    machine = Machine(num_nodes=2, telemetry=True)
+    world = CollWorld(machine, 2, CollConfig(backend=backend))
+
+    def worker(rank):
+        coll = world.join(rank, machine.create_process(rank))
+        yield from coll.barrier()
+
+    for rank in range(2):
+        machine.sim.spawn(worker(rank), f"r{rank}")
+    machine.sim.run()
+    tel = machine.telemetry
+    roots = {
+        root.node: root
+        for root in critpath.operation_roots(tel, "coll.barrier")
+    }
+    return tel, roots
+
+
+def test_nic_barrier_matches_hardware_cost_model():
+    """A 2-node NIC-resident barrier decomposes into the cost model by
+    hand: the CPU touches exactly one doorbell (the trailing status poll
+    sits inside the operation's sync wait, not on the path as cpu), the
+    root's hardware time is one firmware dispatch, the leaf crosses one
+    mesh hop with an 18-byte control packet, and the wait is ``sync`` —
+    never ``stall``."""
+    tel, roots = _coll_barrier_roots("nic")
+    p = DEFAULT_PARAMS
+    for root in roots.values():
+        _check_invariants(tel, root)
+        attribution = critpath.attribute(tel, root.span_id)
+        # CPU: the one-doorbell initiation, exactly.
+        assert attribution.components["cpu"] == pytest.approx(
+            p.udma_init_us, abs=TOL
+        )
+        # Synchronization wait is distinct from (absent) contention stall.
+        assert attribution.components["sync"] > 0.0
+        assert attribution.components["stall"] == pytest.approx(0.0, abs=TOL)
+        assert attribution.components["other"] == pytest.approx(0.0, abs=TOL)
+        # No kernel involvement: collective packets bypass notification.
+        assert attribution.components["notify"] == pytest.approx(0.0, abs=TOL)
+    # Root (node 0): one firmware dispatch handles its own arrival; the
+    # child's UP and the fan-down ride other timelines.
+    root_att = critpath.attribute(tel, roots[0].span_id)
+    assert root_att.components["nic_dma"] == pytest.approx(
+        p.coll_firmware_us, abs=TOL
+    )
+    # Leaf (node 1): the fan-down DOWN packet crosses one hop carrying a
+    # 10-byte collective header framed by the 8-byte packet header.
+    leaf_att = critpath.attribute(tel, roots[1].span_id)
+    assert leaf_att.components["link"] == pytest.approx(
+        p.router_hop_us + (10 + p.packet_header_bytes) / p.link_bandwidth,
+        abs=TOL,
+    )
+
+
+def test_host_barrier_wait_is_sync_not_stall():
+    tel, roots = _coll_barrier_roots("host")
+    for root in roots.values():
+        _check_invariants(tel, root)
+        attribution = critpath.attribute(tel, root.span_id)
+        assert attribution.components["sync"] > 0.0
+        assert attribution.components["stall"] == pytest.approx(0.0, abs=TOL)
+
+
+def test_sync_distinct_from_stall():
+    """A retransmission wait stays ``stall`` even now that barrier waits
+    classify as ``sync``: the two components are genuinely distinct."""
+    lossy = _du_ping(
+        Machine(
+            num_nodes=2,
+            telemetry=True,
+            fault_config=FaultConfig(drop_rate=0.3),
+        ),
+        16 * 1024,
+        reliable=True,
+        rel_config=ReliableConfig(timeout_us=300.0),
+    )
+    (send_root,) = critpath.operation_roots(lossy, "vmmc.send")
+    lossy_att = critpath.attribute(lossy, send_root.span_id)
+    assert lossy_att.components["stall"] > 0.0
+    assert lossy_att.components["sync"] == pytest.approx(0.0, abs=TOL)

@@ -238,3 +238,44 @@ def test_monitored_serve_run_does_not_perturb_the_trajectory():
         if e.name != "monitor.trip"
     ]
     assert plain_instants == watched_instants
+
+
+def _run_collectives(seed, backend):
+    """A collective-heavy 16-rank run: overlapping barriers, combining
+    allreduces, fetch-and-add tickets and a multi-chunk broadcast, so the
+    engine queues, firmware daemons and control-packet trains are all in
+    play."""
+    from repro.coll import CollConfig, CollWorld
+
+    machine = Machine(num_nodes=16, seed=seed, telemetry=True)
+    world = CollWorld(machine, 16, CollConfig(backend=backend))
+    payload = (bytes(range(256)) * 32)[:8000]
+
+    def worker(rank):
+        for i in range(3):
+            yield from world_coll[rank].barrier()
+            yield from world_coll[rank].allreduce(float(rank + i), op="sum")
+            yield from world_coll[rank].fetch_and_add(1.0)
+            data = payload if rank == 0 else None
+            yield from world_coll[rank].bcast(0, data)
+
+    world_coll = [
+        world.join(rank, machine.create_process(rank)) for rank in range(16)
+    ]
+    for rank in range(16):
+        machine.sim.spawn(worker(rank), f"det.coll.r{rank}")
+    machine.sim.run()
+    return machine
+
+
+def test_collective_run_is_deterministic():
+    first = _run_collectives(seed=1998, backend="nic")
+    second = _run_collectives(seed=1998, backend="nic")
+    assert first.stats.counter_value("coll.packets") > 0
+    _assert_identical(first, second)
+
+
+def test_host_backend_collective_run_is_deterministic():
+    first = _run_collectives(seed=1998, backend="host")
+    second = _run_collectives(seed=1998, backend="host")
+    _assert_identical(first, second)

@@ -125,6 +125,31 @@ def test_gsync_barrier_synchronizes():
     assert all(t >= last_entry for t in exits)
 
 
+@pytest.mark.parametrize("nprocs", [3, 5, 6, 7])
+def test_gsync_non_power_of_two(nprocs):
+    """Dissemination rounds are ceil(log2 n); the modular partner math
+    must still synchronize when n is not a power of two."""
+    import math
+
+    machine, world = _world(nprocs)
+    entries = []
+
+    def body(nx, rank):
+        from repro.sim import Timeout
+
+        yield Timeout(rank * 37.0)  # stagger arrival
+        entries.append(machine.now)
+        yield from nx.gsync()
+        exit_time = machine.now
+        return (exit_time, nx.messages_sent)
+
+    results = _run_ranks(machine, world, body)
+    rounds = math.ceil(math.log2(nprocs))
+    for exit_time, sent in results:
+        assert exit_time >= max(entries)
+        assert sent == rounds
+
+
 def test_repeated_barriers():
     machine, world = _world(3)
 

@@ -146,3 +146,56 @@ def test_format_series_preserves_duplicate_x():
         line for line in series.splitlines() if line.split("|")[0].strip() == "1"
     ]
     assert len(x1_rows) == 2
+
+
+def test_family_registry_complete_and_documented():
+    """Every family is registered with a one-line description; the
+    growth-direction families are excluded from `all` and the --help
+    epilog says so."""
+    from repro.study.__main__ import FAMILIES, _epilog, main
+
+    # Paper-grounded families run under `all`; growth directions do not.
+    for name in (
+        "micro", "table1", "table2", "table3", "table4",
+        "figure3", "figure4", "combining", "fifo", "queueing",
+        "reliability",
+    ):
+        description, in_all, emitter = FAMILIES[name]
+        assert in_all, name
+        assert description.strip(), name
+        assert callable(emitter), name
+    for name in ("serve", "coll"):
+        description, in_all, _emitter = FAMILIES[name]
+        assert not in_all, name
+        assert "not in `all`" in description, name
+    epilog = _epilog()
+    for name, (description, _in_all, _emitter) in FAMILIES.items():
+        assert name in epilog
+        assert description in epilog
+    assert "excludes the growth-direction families" in epilog
+    # --help must render the registry and exit cleanly.
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+    assert excinfo.value.code == 0
+    help_text = out.getvalue()
+    for name in FAMILIES:
+        assert name in help_text
+
+
+def test_coll_study_cell_and_formatting():
+    from repro.study import coll_cell, format_coll_study
+
+    nic = coll_cell("tree-nic", nodes=4, ops=2)
+    host = coll_cell("tree-host", nodes=4, ops=2)
+    nx = coll_cell("nx", nodes=4, ops=2)
+    assert nic["barrier_us"] < nx["barrier_us"]
+    assert nic["coll_packets"] > 0
+    assert nx["coll_packets"] == 0
+    text = format_coll_study([nx, host, nic])
+    assert "NIC-side barrier speedup" in text
+    assert "tree-nic" in text and "tree-host" in text
