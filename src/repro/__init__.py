@@ -20,6 +20,7 @@ See ``examples/quickstart.py`` for a complete program.
 
 from .coll import Collective, CollConfig, CollWorld
 from .faults import FaultConfig, FaultPlan
+from .fleet import Catalog, ExperimentSpec, RunStore, make_spec, run_specs
 from .hardware import DEFAULT_PARAMS, MachineParams
 from .monitor import HealthMonitor, MonitorConfig, Postmortem
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
@@ -35,13 +36,18 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Machine",
+    "Catalog",
     "Collective",
     "CollConfig",
     "CollWorld",
+    "ExperimentSpec",
+    "make_spec",
+    "run_specs",
+    "RunStore",
     "Node",
     "NodeProcess",
     "MachineParams",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .compare import compare_docs, render_comparison
+from .compare import compare_docs, comparison_to_json, render_comparison
 from .core import load_bench, render_summary, run_benchmarks, write_bench
 from .perf import (
     load_perf,
@@ -91,6 +91,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--github-annotations", action="store_true",
         help="emit ::warning:: workflow annotations for flagged benchmarks",
     )
+    compare.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="also write the comparison (verdicts, deltas, CIs, "
+        "attribution shifts) as machine-readable JSON to FILE",
+    )
 
     perf = commands.add_parser(
         "perf",
@@ -146,6 +151,19 @@ def _cmd_compare(args) -> int:
         n_boot=args.boot,
     )
     print(render_comparison(comparison))
+    if args.json_out:
+        import json
+
+        from ..telemetry.export import ensure_parent_dir
+
+        with open(
+            ensure_parent_dir(args.json_out), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(
+                comparison_to_json(comparison), fh, indent=2, sort_keys=True
+            )
+            fh.write("\n")
+        print(f"\nwrote {args.json_out}")
     if args.github_annotations:
         for delta in comparison.regressions:
             print(

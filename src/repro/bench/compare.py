@@ -27,6 +27,7 @@ __all__ = [
     "Comparison",
     "bootstrap_median_diff",
     "compare_docs",
+    "comparison_to_json",
     "render_comparison",
 ]
 
@@ -186,6 +187,45 @@ def compare_docs(
         only_in_new=[n for n in new_benchmarks if n not in base_benchmarks],
         only_in_base=[n for n in base_benchmarks if n not in new_benchmarks],
     )
+
+
+def comparison_to_json(comparison: Comparison) -> Dict:
+    """The machine-readable form of a comparison (schema 1).
+
+    Everything the rendered table shows — verdicts, deltas, confidence
+    intervals, attribution shifts — as one JSON document, so CI jobs and
+    ``repro.explore`` consume the same stats path as the human output.
+    """
+    return {
+        "schema": 1,
+        "kind": "bench-comparison",
+        "label_new": comparison.label_new,
+        "label_base": comparison.label_base,
+        "threshold": comparison.threshold,
+        "deltas": [
+            {
+                "name": delta.name,
+                "unit": delta.unit,
+                "higher_is_better": delta.higher_is_better,
+                "base_median": delta.base_median,
+                "new_median": delta.new_median,
+                "diff_median": delta.diff,
+                "rel": delta.rel,
+                "ci95": [delta.ci_lo, delta.ci_hi],
+                "pairs": delta.pairs,
+                "verdict": delta.verdict,
+                "attribution_shift": delta.attribution_shift,
+            }
+            for delta in comparison.deltas
+        ],
+        "only_in_new": comparison.only_in_new,
+        "only_in_base": comparison.only_in_base,
+        "summary": {
+            "compared": len(comparison.deltas),
+            "regressions": len(comparison.regressions),
+            "improvements": len(comparison.improvements),
+        },
+    }
 
 
 def render_comparison(comparison: Comparison) -> str:

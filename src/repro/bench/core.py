@@ -23,6 +23,7 @@ __all__ = [
     "REGISTRY",
     "register",
     "select",
+    "make_entry",
     "run_benchmarks",
     "write_bench",
     "load_bench",
@@ -108,6 +109,44 @@ def _percentile(samples: List[float], p: float) -> float:
     return ordered[rank - 1]
 
 
+def make_entry(
+    unit: str,
+    higher_is_better: bool,
+    samples: List[float],
+    attribution: Optional[Dict[str, float]] = None,
+    ops: int = 0,
+) -> Dict:
+    """One ``benchmarks`` entry of the ``BENCH_*`` schema.
+
+    Shared with :mod:`repro.fleet`, whose ``RunRecord`` documents embed
+    the same entry shape — which is what lets the explorer feed stored
+    run records straight into :func:`repro.bench.compare.compare_docs`.
+    """
+    if not samples:
+        raise ValueError("a bench entry needs at least one sample")
+    entry: Dict = {
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "samples": samples,
+        "median": statistics.median(samples),
+        "mean": statistics.fmean(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "p95": _percentile(samples, 95),
+    }
+    if ops and attribution is not None:
+        total = sum(attribution.values())
+        entry["ops"] = ops
+        entry["attribution"] = {
+            key: value / ops for key, value in attribution.items()
+        }
+        entry["attribution_share"] = {
+            key: (value / total if total else 0.0)
+            for key, value in attribution.items()
+        }
+    return entry
+
+
 def run_benchmarks(
     label: str,
     quick: bool = False,
@@ -139,26 +178,13 @@ def run_benchmarks(
                 ops += run.ops
                 for key, value in run.attribution.items():
                     attribution[key] = attribution.get(key, 0.0) + value
-        entry: Dict = {
-            "unit": spec.unit,
-            "higher_is_better": spec.higher_is_better,
-            "samples": samples,
-            "median": statistics.median(samples),
-            "mean": statistics.fmean(samples),
-            "min": min(samples),
-            "max": max(samples),
-            "p95": _percentile(samples, 95),
-        }
-        if ops:
-            total = sum(attribution.values())
-            entry["ops"] = ops
-            entry["attribution"] = {
-                key: value / ops for key, value in attribution.items()
-            }
-            entry["attribution_share"] = {
-                key: (value / total if total else 0.0)
-                for key, value in attribution.items()
-            }
+        entry = make_entry(
+            spec.unit,
+            spec.higher_is_better,
+            samples,
+            attribution=attribution,
+            ops=ops,
+        )
         benchmarks[spec.name] = entry
         if log is not None:
             log(

@@ -1,0 +1,40 @@
+"""repro.explore: the cross-run results explorer.
+
+A CLI (and library) over the :mod:`repro.fleet` run store and the
+committed ``BENCH_*`` baselines::
+
+    python -m repro.explore list
+    python -m repro.explore show 3417
+    python -m repro.explore compare "workload=coll,mode=nx,nodes=16" \\
+        "workload=coll,mode=tree-nic,nodes=16"
+    python -m repro.explore attr-diff "workload=coll,mode=nx,nodes=16" \\
+        "workload=coll,mode=tree-nic,nodes=16"
+    python -m repro.explore trend --workload coll --x nodes
+    python -m repro.explore drill 3417
+
+Comparisons reuse the paired-bootstrap machinery of
+:mod:`repro.bench.compare`; attribution diffs answer "where did the cpu
+share go" between any two records purely from stored artifacts.
+"""
+
+from .core import (
+    Resolved,
+    attr_diff,
+    compare_refs,
+    drill,
+    list_table,
+    resolve,
+    show_record,
+    trend_table,
+)
+
+__all__ = [
+    "Resolved",
+    "resolve",
+    "list_table",
+    "show_record",
+    "compare_refs",
+    "attr_diff",
+    "trend_table",
+    "drill",
+]

@@ -1,0 +1,205 @@
+"""The fan-out runner: specs -> workers -> run store, with cache hits.
+
+``run_specs`` takes a list of :class:`ExperimentSpec`, checks each
+against the store, and executes only the misses (and invalid records,
+which are re-run rather than served).  Execution happens either inline
+(``workers <= 1``) or on a ``multiprocessing`` pool — every worker runs
+the workload **in-process** via the existing study/bench entry points
+and writes its own ``runs/<fingerprint>/`` directory, so parallel
+workers never share mutable state and a 2-worker fan-out produces
+byte-identical records to a serial run (tested).
+
+The record document (``RunRecord``) embeds a ``BENCH_*``-schema stats
+entry built by :func:`repro.bench.core.make_entry`, which is what lets
+``repro.explore compare`` feed two records straight into the
+paired-bootstrap comparison machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .catalog import ExperimentSpec
+from .store import RECORD_SCHEMA, RunStore
+from .workloads import FleetResult, resolve_workload
+
+__all__ = ["RunOutcome", "build_record", "execute_spec", "run_specs"]
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one spec during a fleet run."""
+
+    spec: ExperimentSpec
+    fingerprint: str
+    #: "cached" | "ran" | "reran" (invalid record replaced) | "error"
+    status: str
+    error: Optional[str] = None
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "cached"
+
+
+def build_record(
+    spec: ExperimentSpec, result: FleetResult
+) -> Tuple[Dict, Dict[str, str]]:
+    """The (record document, sidecar contents) for one finished run.
+
+    No wall-clock fields anywhere: the record is a pure function of the
+    spec and the code, so re-runs reproduce it byte-for-byte.
+    """
+    from .. import __version__
+    from ..bench.core import make_entry
+    from ..telemetry.export import to_chrome_trace
+
+    fingerprint = spec.fingerprint
+    record: Dict = {
+        "schema": RECORD_SCHEMA,
+        "fingerprint": fingerprint,
+        "spec": spec.to_json(),
+        "code_version": __version__,
+        "workload": spec.workload,
+        "unit": result.unit,
+        "virtual_end_us": result.virtual_end_us,
+        "metrics": result.metrics,
+    }
+    if result.samples:
+        record["bench"] = make_entry(
+            result.unit,
+            result.higher_is_better,
+            result.samples,
+            attribution=result.attribution,
+            ops=result.ops,
+        )
+    sidecars: Dict[str, str] = {}
+    artifacts: Dict[str, str] = {}
+    if result.telemetry is not None:
+        label = f"{spec.workload}@{fingerprint}"
+        sidecars["trace.json"] = json.dumps(
+            to_chrome_trace(result.telemetry, label=label)
+        )
+        artifacts["trace"] = "trace.json"
+    monitor = result.monitor
+    if monitor is not None:
+        record["monitor"] = {
+            "healthy": monitor.healthy,
+            "trips": [
+                {
+                    "kind": trip.kind,
+                    "time": trip.time,
+                    "subject": trip.subject,
+                    "detail": trip.detail,
+                }
+                for trip in monitor.trips
+            ],
+        }
+        if not monitor.healthy:
+            postmortem = monitor.postmortem()
+            sidecars["postmortem.json"] = json.dumps(
+                postmortem.to_json(), indent=2, sort_keys=True
+            )
+            artifacts["postmortem"] = "postmortem.json"
+    if result.report is not None:
+        sidecars["report.txt"] = result.report + "\n"
+        artifacts["report"] = "report.txt"
+    record["artifacts"] = artifacts
+    return record, sidecars
+
+
+def execute_spec(spec: ExperimentSpec, store: RunStore) -> str:
+    """Run one spec and commit its record; returns the record path."""
+    workload = resolve_workload(spec.workload)
+    result = workload.run(spec)
+    record, sidecars = build_record(spec, result)
+    return store.put(record, sidecars)
+
+
+def _pool_worker(args: Tuple[dict, str]) -> Tuple[str, Optional[str]]:
+    """Module-level so it pickles under both fork and spawn starts."""
+    spec_doc, root = args
+    spec = ExperimentSpec.from_json(spec_doc)
+    try:
+        execute_spec(spec, RunStore(root))
+        return spec.fingerprint, None
+    except Exception:  # noqa: BLE001 - reported per-spec by the caller
+        return spec.fingerprint, traceback.format_exc()
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    store: RunStore,
+    workers: int = 1,
+    force: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> List[RunOutcome]:
+    """Run a catalog's specs against the store; returns one outcome each.
+
+    Duplicate fingerprints are collapsed (first occurrence wins); valid
+    cached records are served without executing anything unless
+    ``force``; invalid records are replaced.  Outcomes preserve the
+    input order of the surviving specs.
+    """
+
+    def note(line: str) -> None:
+        if log is not None:
+            log(line)
+
+    unique: List[ExperimentSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec.fingerprint not in seen:
+            seen.add(spec.fingerprint)
+            unique.append(spec)
+
+    pending: List[Tuple[ExperimentSpec, str]] = []
+    statuses: Dict[str, str] = {}
+    for spec in unique:
+        status = store.status(spec)
+        if status == "hit" and not force:
+            statuses[spec.fingerprint] = "cached"
+            note(f"{spec.fingerprint}  cached  {spec.describe()}")
+        else:
+            pending.append((spec, status))
+
+    errors: Dict[str, str] = {}
+    if pending:
+        if workers > 1:
+            args = [(spec.to_json(), store.root) for spec, _status in pending]
+            context = multiprocessing.get_context()
+            with context.Pool(processes=workers) as pool:
+                for fingerprint, error in pool.imap_unordered(
+                    _pool_worker, args
+                ):
+                    if error is not None:
+                        errors[fingerprint] = error
+        else:
+            for spec, _status in pending:
+                try:
+                    execute_spec(spec, store)
+                except Exception:  # noqa: BLE001 - reported per-spec
+                    errors[spec.fingerprint] = traceback.format_exc()
+        for spec, status in pending:
+            if spec.fingerprint in errors:
+                statuses[spec.fingerprint] = "error"
+                note(f"{spec.fingerprint}  ERROR   {spec.describe()}")
+            else:
+                verb = "reran " if status == "invalid" else "ran   "
+                statuses[spec.fingerprint] = (
+                    "reran" if status == "invalid" else "ran"
+                )
+                note(f"{spec.fingerprint}  {verb} {spec.describe()}")
+
+    return [
+        RunOutcome(
+            spec=spec,
+            fingerprint=spec.fingerprint,
+            status=statuses[spec.fingerprint],
+            error=errors.get(spec.fingerprint),
+        )
+        for spec in unique
+    ]

@@ -1,0 +1,425 @@
+"""Fleet workloads: what one :class:`ExperimentSpec` actually runs.
+
+Every workload maps a spec to a :class:`FleetResult` — virtual-time
+samples, a critical-path attribution vector, the telemetry collector (for
+the Chrome-trace sidecar), the health monitor's trips, and any rendered
+report text.  Workloads reuse the existing entry points rather than
+inventing new measurement paths:
+
+* ``coll`` — the collectives study cell (:mod:`repro.study.collectives`
+  semantics): ``mode`` ∈ ``nx`` / ``tree-host`` / ``tree-nic`` barriers
+  on ``spec.nodes`` ranks, samples = per-operation barrier span
+  durations, attribution from :func:`repro.telemetry.critpath.aggregate`.
+* ``ping`` — the bench ping shape: ``spec.nodes - 1`` senders streaming
+  into node 0, samples = ``vmmc.send`` span durations.
+* ``serve`` — a :class:`repro.serve.ServeCluster` run; samples =
+  ``serve.request`` span durations, goodput in ``metrics``.
+* ``bench:<name>`` — any benchmark registered in
+  :data:`repro.bench.core.REGISTRY`, run at ``spec.seed``.
+* ``study:<family>`` — a :data:`repro.study.__main__.FAMILIES` entry;
+  the rendered tables become the record's ``report.txt`` artifact.
+
+Platforms come from :mod:`repro.study.platforms`; fault plans are the
+named entries of :data:`FAULT_PLANS` so a catalog can say
+``"fault_plan": ["none", "drop1"]`` and stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..telemetry import critpath
+
+__all__ = [
+    "FleetResult",
+    "FleetWorkload",
+    "WORKLOADS",
+    "FAULT_PLANS",
+    "PLATFORMS",
+    "resolve_workload",
+    "workload_names",
+]
+
+
+@dataclass
+class FleetResult:
+    """Everything one workload run hands to the record builder."""
+
+    unit: str
+    higher_is_better: bool
+    samples: List[float]
+    attribution: Optional[Dict[str, float]] = None
+    #: Operations the attribution sums over.
+    ops: int = 0
+    #: The run's telemetry collector (None: no trace sidecar).
+    telemetry: object = None
+    #: The run's health monitor (None: not armed).
+    monitor: object = None
+    #: Virtual time at the end of the run.
+    virtual_end_us: float = 0.0
+    #: Workload-specific scalar metrics (goodput, packet counts, ...).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Rendered report text (None: no report sidecar).
+    report: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """A registered workload: metadata plus the spec -> result runner."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    description: str
+    run: Callable[["ExperimentSpec"], FleetResult]
+
+
+#: Named fault environments a catalog can select declaratively.
+#: ``none`` maps to no plan at all (the zero-overhead gate stays closed).
+FAULT_PLANS: Dict[str, Optional[dict]] = {
+    "none": None,
+    "drop1": {"drop_rate": 0.01},
+    "corrupt1": {"corrupt_rate": 0.01},
+    "outage": {"link_outages": 1, "outage_duration_us": 500.0},
+    "rxdiscard": {"rx_overflow_discard": True},
+}
+
+#: Platform profiles (see repro.study.platforms).
+PLATFORMS = ("shrimp", "myrinet")
+
+
+def _fault_config(spec) -> Optional[object]:
+    if spec.fault_plan not in FAULT_PLANS:
+        raise ValueError(
+            f"unknown fault plan {spec.fault_plan!r}; "
+            f"choose from {sorted(FAULT_PLANS)}"
+        )
+    knobs = FAULT_PLANS[spec.fault_plan]
+    if knobs is None:
+        return None
+    from ..faults import FaultConfig
+
+    return FaultConfig(**knobs)
+
+
+def _machine(spec, num_nodes: int):
+    """A telemetry-armed, monitor-armed machine for one spec."""
+    from ..node import Machine
+    from ..study.platforms import (
+        myrinet_nic_config,
+        myrinet_params,
+        shrimp_nic_config,
+        shrimp_params,
+    )
+
+    if spec.platform == "shrimp":
+        params, nic_config = shrimp_params(), shrimp_nic_config()
+    elif spec.platform == "myrinet":
+        params, nic_config = myrinet_params(), myrinet_nic_config()
+    else:
+        raise ValueError(
+            f"unknown platform {spec.platform!r}; choose from {PLATFORMS}"
+        )
+    machine = Machine(
+        num_nodes=num_nodes,
+        params=params,
+        nic_config=nic_config,
+        seed=spec.seed,
+        fault_config=_fault_config(spec),
+        telemetry=True,
+    )
+    machine.enable_monitor()
+    return machine
+
+
+def _span_samples(telemetry, span_name: str) -> List[float]:
+    """Per-operation durations with each node's cold first op dropped."""
+    by_node: Dict[int, list] = {}
+    for root in critpath.operation_roots(telemetry, span_name):
+        by_node.setdefault(root.node, []).append(root)
+    samples: List[float] = []
+    for spans in by_node.values():
+        spans.sort(key=lambda span: span.start)
+        samples.extend(span.duration for span in spans[1:])
+    if not samples:
+        samples = [
+            span.duration
+            for span in critpath.operation_roots(telemetry, span_name)
+        ]
+    return samples
+
+
+_COLL_MODES = ("nx", "tree-host", "tree-nic")
+_COLL_SPAN = {
+    "nx": "nx.gsync",
+    "tree-host": "coll.barrier",
+    "tree-nic": "coll.barrier",
+}
+
+
+def _run_coll(spec) -> FleetResult:
+    from ..coll import CollConfig
+    from ..msg import NXWorld
+    from ..vmmc import VMMCRuntime
+
+    mode = spec.param("mode", "tree-nic")
+    ops = int(spec.param("ops", 8))
+    if mode not in _COLL_MODES:
+        raise ValueError(
+            f"unknown coll mode {mode!r}; choose from {_COLL_MODES}"
+        )
+    machine = _machine(spec, spec.nodes)
+    vmmc = VMMCRuntime(machine)
+    coll = None
+    if mode == "tree-host":
+        coll = CollConfig(backend="host")
+    elif mode == "tree-nic":
+        coll = CollConfig(backend="nic")
+    world = NXWorld(vmmc, spec.nodes, coll=coll)
+
+    def worker(rank: int):
+        nx = yield from world.join(rank, machine.create_process(rank))
+        # Warmup barrier absorbs the join rendezvous skew; its spans are
+        # the cold ops _span_samples drops.
+        yield from nx.gsync()
+        for _ in range(ops):
+            yield from nx.gsync()
+
+    for rank in range(spec.nodes):
+        machine.sim.spawn(worker(rank), f"fleet.coll.r{rank}")
+    machine.sim.run()
+
+    telemetry = machine.telemetry
+    span_name = _COLL_SPAN[mode]
+    agg = critpath.aggregate(telemetry, span_name, top=0)
+    return FleetResult(
+        unit="us",
+        higher_is_better=False,
+        samples=_span_samples(telemetry, span_name),
+        attribution=agg.components,
+        ops=agg.count,
+        telemetry=telemetry,
+        monitor=machine.monitor,
+        virtual_end_us=machine.now,
+        metrics={
+            "coll_packets": float(
+                machine.stats.counter_value("coll.packets")
+            ),
+        },
+    )
+
+
+def _run_ping(spec) -> FleetResult:
+    from ..vmmc import ReliableConfig, VMMCRuntime
+
+    nbytes = int(spec.param("nbytes", 4096))
+    ops = int(spec.param("ops", 9))
+    reliable = bool(spec.param("reliable", False))
+    senders = max(1, spec.nodes - 1)
+    machine = _machine(spec, senders + 1)
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(0))
+    payload = (bytes(range(256)) * (-(-nbytes // 256)))[:nbytes]
+
+    def rx():
+        buffers = []
+        for s in range(senders):
+            buffer = yield from receiver.export(nbytes, name=f"fleet.{s}")
+            buffers.append(buffer)
+        for buffer in buffers:
+            yield from receiver.wait_bytes(buffer, nbytes * ops)
+
+    def tx(s: int):
+        endpoint = vmmc.endpoint(machine.create_process(s + 1))
+        imported = yield from endpoint.import_buffer(f"fleet.{s}")
+        src = endpoint.alloc(nbytes)
+        endpoint.poke(src, payload)
+        if reliable:
+            channel = endpoint.open_reliable(
+                imported, ReliableConfig(timeout_us=300.0)
+            )
+            for _ in range(ops):
+                yield from channel.send(src, nbytes)
+        else:
+            for _ in range(ops):
+                yield from endpoint.send(
+                    imported, src, nbytes, sync_delivered=True
+                )
+
+    machine.sim.spawn(rx(), "fleet.rx")
+    for s in range(senders):
+        machine.sim.spawn(tx(s), f"fleet.tx{s}")
+    machine.sim.run()
+
+    telemetry = machine.telemetry
+    agg = critpath.aggregate(telemetry, "vmmc.send", top=0)
+    return FleetResult(
+        unit="us",
+        higher_is_better=False,
+        samples=_span_samples(telemetry, "vmmc.send"),
+        attribution=agg.components,
+        ops=agg.count,
+        telemetry=telemetry,
+        monitor=machine.monitor,
+        virtual_end_us=machine.now,
+    )
+
+
+def _run_serve(spec) -> FleetResult:
+    from ..serve import ServeCluster, ServeConfig
+
+    if spec.fault_plan != "none":
+        raise ValueError(
+            "the serve workload drives chaos through repro.serve scenarios; "
+            "use fault_plan='none' (chaos knobs are future work)"
+        )
+    if spec.platform != "shrimp":
+        raise ValueError("the serve workload runs on the shrimp platform")
+    num_shards = max(1, spec.nodes // 2)
+    config = ServeConfig(
+        num_shards=num_shards,
+        num_aggregates=max(1, spec.nodes - num_shards),
+        balancer=str(spec.param("balancer", "hash")),
+        arrivals=str(spec.param("arrivals", "poisson")),
+        offered_rps=float(spec.param("rps", 40_000.0)),
+        duration_us=float(spec.param("duration_us", 5_000.0)),
+    )
+    cluster = ServeCluster(config, seed=spec.seed, telemetry=True)
+    report = cluster.run()
+    machine = cluster.machine
+    telemetry = machine.telemetry
+    agg = critpath.aggregate(telemetry, "serve.request", top=0)
+    samples = [
+        span.duration
+        for span in critpath.operation_roots(telemetry, "serve.request")
+    ]
+    return FleetResult(
+        unit="us",
+        higher_is_better=False,
+        samples=samples,
+        attribution=agg.components,
+        ops=agg.count,
+        telemetry=telemetry,
+        monitor=machine.monitor,
+        virtual_end_us=machine.now,
+        metrics={
+            "goodput_rps": report.goodput_rps,
+            "ok": float(report.ok),
+            "late": float(report.late),
+            "failed": float(report.failed),
+        },
+        report=report.render(),
+    )
+
+
+def _require_defaults(spec, *, nodes_free: bool = False) -> None:
+    """``bench:``/``study:`` entry points own their machines: the spec's
+    platform/fault axes (and for ``bench:`` the node count) must stay at
+    their defaults rather than being silently ignored."""
+    if spec.platform != "shrimp" or spec.fault_plan != "none":
+        raise ValueError(
+            f"workload {spec.workload!r} fixes its own machine; "
+            "platform/fault_plan must be the defaults"
+        )
+    if not nodes_free and spec.nodes != 16:
+        raise ValueError(
+            f"workload {spec.workload!r} fixes its own machine; "
+            "leave nodes at the default (16)"
+        )
+
+
+def _run_bench(spec) -> FleetResult:
+    from ..bench.core import REGISTRY, select
+
+    _require_defaults(spec)
+    name = spec.workload.split(":", 1)[1]
+    select([name])  # populates REGISTRY and validates the name
+    bench_spec = REGISTRY[name]
+    run = bench_spec.runner(spec.seed)
+    if not run.samples:
+        raise RuntimeError(f"benchmark {name} produced no samples")
+    return FleetResult(
+        unit=bench_spec.unit,
+        higher_is_better=bench_spec.higher_is_better,
+        samples=list(run.samples),
+        attribution=run.attribution,
+        ops=run.ops,
+    )
+
+
+def _run_study(spec) -> FleetResult:
+    from ..study import default_runner
+    from ..study.__main__ import FAMILIES
+
+    _require_defaults(spec, nodes_free=True)
+    family = spec.workload.split(":", 1)[1]
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown study family {family!r}; choose from {sorted(FAMILIES)}"
+        )
+    _description, _in_all, emitter = FAMILIES[family]
+    text = emitter(default_runner, spec.nodes)
+    return FleetResult(
+        unit="report",
+        higher_is_better=False,
+        samples=[],
+        report=text,
+    )
+
+
+#: Directly registered workloads (the ``bench:``/``study:`` prefixes are
+#: resolved dynamically against their own registries).
+WORKLOADS: Dict[str, FleetWorkload] = {}
+
+
+def _register(workload: FleetWorkload) -> None:
+    WORKLOADS[workload.name] = workload
+
+
+_register(
+    FleetWorkload(
+        "coll", "us", False,
+        "barrier latency: mode=nx|tree-host|tree-nic, ops=N",
+        _run_coll,
+    )
+)
+_register(
+    FleetWorkload(
+        "ping", "us", False,
+        "(nodes-1)-to-1 vmmc sends: nbytes=N, ops=N, reliable=0|1",
+        _run_ping,
+    )
+)
+_register(
+    FleetWorkload(
+        "serve", "us", False,
+        "serving-tier request latency: balancer=..., rps=..., duration_us=...",
+        _run_serve,
+    )
+)
+
+
+def resolve_workload(name: str) -> FleetWorkload:
+    """The workload for a spec's ``workload`` field."""
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    if name.startswith("bench:"):
+        return FleetWorkload(
+            name, "?", False, "curated benchmark (see repro.bench)",
+            _run_bench,
+        )
+    if name.startswith("study:"):
+        return FleetWorkload(
+            name, "report", False, "study family report (see repro.study)",
+            _run_study,
+        )
+    raise ValueError(
+        f"unknown workload {name!r}; registered: {sorted(WORKLOADS)}, "
+        "plus bench:<benchmark> and study:<family>"
+    )
+
+
+def workload_names() -> List[str]:
+    """Registered workload names plus the dynamic prefixes."""
+    return sorted(WORKLOADS) + ["bench:<name>", "study:<family>"]

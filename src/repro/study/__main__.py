@@ -5,7 +5,10 @@ Usage::
     python -m repro.study [FAMILY] [--nodes N]
 
 ``python -m repro.study --help`` lists every family with a one-line
-description.  ``all`` regenerates the paper-grounded families only;
+description; ``--list`` prints the same registry as machine-readable
+``name<TAB>description`` lines for the fleet catalog to ingest.  A
+family that raises is reported on stderr and reflected in a non-zero
+exit status.  ``all`` regenerates the paper-grounded families only;
 growth-direction families (``serve``, ``coll``) are excluded so that the
 output of ``all`` stays byte-stable as new families are added — run them
 by name.
@@ -15,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 
 from . import (
     coll_study,
@@ -174,13 +178,40 @@ def main(argv=None) -> int:
         help="which family to regenerate (default: all)",
     )
     parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the family registry as machine-readable "
+        "name<TAB>description lines (no families are run); the fleet "
+        "catalog ingests this format (repro.fleet.Catalog"
+        ".from_family_listing)",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        for name, (description, _in_all, _emitter) in FAMILIES.items():
+            print(f"{name}\t{description}")
+        return 0
     runner = default_runner
     emit = []
+    failures = []
     for name, (_description, in_all, emitter) in FAMILIES.items():
         if args.what == name or (args.what == "all" and in_all):
-            emit.append(emitter(runner, args.nodes))
+            try:
+                emit.append(emitter(runner, args.nodes))
+            except Exception:  # noqa: BLE001 - reported, reflected in exit
+                failures.append(name)
+                print(
+                    f"family {name} raised:\n{traceback.format_exc()}",
+                    file=sys.stderr,
+                )
     print("\n\n".join(emit))
+    if failures:
+        print(
+            f"FAILED famil{'y' if len(failures) == 1 else 'ies'}: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -8,7 +8,12 @@ time become lone ``"B"`` events (the viewer auto-closes them); instants are
 ``"i"``; parent links across (node, track) lanes are drawn as ``"s"``/``"f"``
 flow arrows, which is what makes one deliberate-update transfer visible as a
 connected tree from the sending VMMC lane through the wire to the remote
-NIC lane.  Resource timelines export as ``"C"`` counter series.
+NIC lane.  Resource timelines export as ``"C"`` counter series on a
+dedicated "resources" track.  ``process_name``/``process_sort_index`` and
+``thread_name``/``thread_sort_index`` metadata label every track ("node 3" /
+"nic.rx") and pin the pipeline ordering of :data:`TRACK_ORDER`, so a
+drill-down from the results explorer lands in a readable timeline instead
+of bare pids in first-seen order.
 
 Timestamps are virtual microseconds, which is exactly the unit the format
 expects.
@@ -24,6 +29,8 @@ from .collector import Telemetry
 from .events import PHASE_BEGIN, PHASE_INSTANT
 
 __all__ = [
+    "TRACK_ORDER",
+    "COUNTER_TRACK",
     "to_chrome_trace",
     "write_chrome_trace",
     "to_jsonl",
@@ -46,6 +53,35 @@ def ensure_parent_dir(path: str) -> str:
 
 #: pid used for machine-wide events recorded with node == -1.
 SIM_PID = 1_000_000
+
+#: Canonical viewer ordering of the per-node tracks, following the
+#: message pipeline top to bottom: application first, then the libraries,
+#: the kernel, the NIC send side, the wire, the NIC receive side, and
+#: finally resource counters.  Tracks not listed here sort after these,
+#: alphabetically (see ``_track_sort_index``).
+TRACK_ORDER = (
+    "app",
+    "serve",
+    "svm",
+    "vmmc",
+    "msg",
+    "kernel",
+    "nic.tx",
+    "nic.fw",
+    "net",
+    "nic.rx",
+    "resources",
+)
+
+#: The synthetic track carrying "C" resource-counter series.
+COUNTER_TRACK = "resources"
+
+
+def _track_sort_index(track: str) -> int:
+    try:
+        return TRACK_ORDER.index(track)
+    except ValueError:
+        return len(TRACK_ORDER)
 
 
 def _pid(node: int) -> int:
@@ -72,6 +108,9 @@ def to_chrome_trace(
         key = (_pid(node), track)
         if key not in tids:
             tids[key] = len([k for k in tids if k[0] == key[0]]) + 1
+            # Label the track and pin its position: without the metadata
+            # the viewer shows bare tids in first-seen order, which for a
+            # drill-down means hunting for "node 3's NIC" by number.
             events.append(
                 {
                     "ph": "M",
@@ -80,6 +119,16 @@ def to_chrome_trace(
                     "tid": tids[key],
                     "ts": 0,
                     "args": {"name": track},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": key[0],
+                    "tid": tids[key],
+                    "ts": 0,
+                    "args": {"sort_index": _track_sort_index(track)},
                 }
             )
         return tids[key]
@@ -99,6 +148,17 @@ def to_chrome_trace(
                     "tid": 0,
                     "ts": 0,
                     "args": {"name": name},
+                }
+            )
+            # Nodes in id order, the machine-wide pseudo-process last.
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"sort_index": node if node >= 0 else SIM_PID},
                 }
             )
         return pid
@@ -213,6 +273,7 @@ def to_chrome_trace(
 
     for timeline in telemetry.timelines.values():
         pid = name_pid(timeline.node)
+        tid = tid_for(timeline.node, COUNTER_TRACK)
         for time, value in timeline.points:
             events.append(
                 {
@@ -221,7 +282,7 @@ def to_chrome_trace(
                     "cat": "resource",
                     "ts": time,
                     "pid": pid,
-                    "tid": 0,
+                    "tid": tid,
                     "args": {"value": value},
                 }
             )

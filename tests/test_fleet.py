@@ -1,0 +1,303 @@
+"""Tests for the experiment fleet: specs, store, runner, resumability.
+
+The load-bearing properties pinned here:
+
+* fingerprints are stable content hashes — param order, construction
+  order and JSON round-trips never change them;
+* a fresh run and a cache hit yield **byte-identical** ``record.json``;
+* a two-worker parallel fan-out produces the same records as a serial
+  run of the same catalog;
+* a corrupted or partially-written record is detected and re-run, never
+  served.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import (
+    BUILTIN_MATRICES,
+    Catalog,
+    ExperimentSpec,
+    RunStore,
+    StoreError,
+    expand_matrix,
+    load_catalog,
+    make_spec,
+    run_specs,
+)
+from repro.fleet.runner import build_record, execute_spec
+from repro.fleet.workloads import resolve_workload, workload_names
+
+# Small, fast specs reused across the module: the published comparison
+# (host dissemination vs NIC-resident tree) shrunk to 4 nodes / 4 ops.
+SPEC_NX = make_spec("coll", nodes=4, mode="nx", ops=4)
+SPEC_NIC = make_spec("coll", nodes=4, mode="tree-nic", ops=4)
+
+
+# -- specs and fingerprints ----------------------------------------------
+
+
+def test_fingerprint_is_stable_and_param_order_invariant():
+    a = make_spec("coll", nodes=16, mode="nx", ops=8)
+    b = make_spec("coll", ops=8, mode="nx", nodes=16)
+    assert a == b
+    assert a.fingerprint == b.fingerprint
+    assert len(a.fingerprint) == 16
+    int(a.fingerprint, 16)  # hex
+    # Different content, different identity.
+    assert a.fingerprint != make_spec("coll", nodes=16, mode="nx").fingerprint
+    assert a.fingerprint != make_spec(
+        "coll", nodes=16, mode="nx", ops=8, seed=7
+    ).fingerprint
+
+
+def test_fingerprint_pinned_against_accidental_schema_drift():
+    """The content hash is an on-disk identity (runs/<fp>/): changing the
+    canonical JSON form silently orphans every stored run, so pin one."""
+    spec = make_spec("coll", nodes=16, mode="nx", ops=8)
+    assert spec.fingerprint == ExperimentSpec.from_json(
+        spec.to_json()
+    ).fingerprint
+    blob = json.dumps(spec.to_json(), sort_keys=True)
+    assert '"schema": 1' in blob
+    assert '"workload": "coll"' in blob
+
+
+def test_spec_round_trips_through_json():
+    spec = make_spec(
+        "ping", platform="myrinet", fault_plan="drop1", nodes=8, seed=7,
+        nbytes=256, reliable=True,
+    )
+    again = ExperimentSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.param("nbytes") == 256
+    assert again.param("missing", "dflt") == "dflt"
+
+
+def test_spec_rejects_unsorted_or_non_scalar_params():
+    with pytest.raises(ValueError):
+        ExperimentSpec(workload="coll", params=(("b", 1), ("a", 2)))
+    with pytest.raises(ValueError):
+        make_spec("coll", bad={"nested": 1})
+    with pytest.raises(ValueError):
+        ExperimentSpec.from_json({"schema": 99, "workload": "coll"})
+
+
+# -- catalogs and matrices -----------------------------------------------
+
+
+def test_smoke_matrix_expands_to_four_specs():
+    catalog = load_catalog("smoke")
+    assert catalog.name == "smoke"
+    assert len(catalog) == 4
+    cells = {(s.param("mode"), s.nodes) for s in catalog}
+    assert cells == {
+        ("nx", 8), ("nx", 16), ("tree-nic", 8), ("tree-nic", 16),
+    }
+
+
+def test_matrix_cross_product_and_explicit_specs(tmp_path):
+    doc = {
+        "name": "mixed",
+        "matrix": {
+            "workload": ["coll"],
+            "params": [{"mode": "nx"}, {"mode": "tree-nic"}],
+            "nodes": [4, 8],
+            "seed": [1, 2],
+        },
+        "specs": [{"workload": "ping", "nodes": 4}],
+    }
+    path = tmp_path / "mixed.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    catalog = load_catalog(str(path))
+    assert catalog.name == "mixed"
+    assert len(catalog) == 2 * 2 * 2 + 1
+    assert catalog.specs[-1].workload == "ping"
+
+
+def test_catalog_dedups_by_fingerprint_and_bad_names_rejected():
+    spec = make_spec("coll", nodes=4, mode="nx")
+    same = make_spec("coll", mode="nx", nodes=4)
+    assert len(Catalog(name="d", specs=[spec, same, SPEC_NIC])) == 2
+    with pytest.raises(ValueError):
+        load_catalog("no-such-matrix")
+    with pytest.raises(ValueError):
+        expand_matrix({"name": "empty"})
+
+
+def test_catalog_ingests_study_family_listing():
+    from repro.study.__main__ import FAMILIES
+
+    listing = "\n".join(
+        f"{name}\t{description}"
+        for name, (description, _in_all, _e) in FAMILIES.items()
+    )
+    catalog = Catalog.from_family_listing(listing, nodes=8)
+    assert len(catalog) == len(FAMILIES)
+    assert all(s.workload.startswith("study:") for s in catalog)
+    assert catalog.specs[0].workload == "study:micro"
+    assert catalog.specs[0].nodes == 8
+    # Every ingested family resolves to a runnable fleet workload.
+    for spec in catalog:
+        resolve_workload(spec.workload)
+
+
+def test_builtin_matrices_and_workload_registry_expand():
+    for name in BUILTIN_MATRICES:
+        assert len(load_catalog(name)) > 0
+    names = workload_names()
+    assert "coll" in names and "ping" in names and "serve" in names
+    with pytest.raises(ValueError):
+        resolve_workload("no-such-workload")
+
+
+# -- record building -----------------------------------------------------
+
+
+def test_record_schema_and_sidecars(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    execute_spec(SPEC_NX, store)
+    record = store.load(SPEC_NX.fingerprint)
+    for key in ("schema", "fingerprint", "spec", "code_version", "workload",
+                "unit", "metrics", "bench", "monitor", "artifacts"):
+        assert key in record, key
+    assert record["fingerprint"] == SPEC_NX.fingerprint
+    assert record["bench"]["samples"], "per-op samples embedded"
+    assert record["bench"]["attribution_share"]["cpu"] > 0.5
+    assert record["monitor"]["healthy"] is True
+    trace_path = store.artifact_path(record, "trace")
+    assert trace_path and os.path.exists(trace_path)
+    with open(trace_path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    assert trace["otherData"]["label"] == f"coll@{SPEC_NX.fingerprint}"
+    # No wall-clock anywhere: records must be pure functions of the spec.
+    blob = json.dumps(record)
+    assert "wall" not in blob and "timestamp" not in blob
+
+
+def test_study_workload_produces_report_sidecar(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    spec = make_spec("study:micro", nodes=4)
+    execute_spec(spec, store)
+    record = store.load(spec.fingerprint)
+    assert "bench" not in record  # report-only family: no samples
+    report = store.artifact_path(record, "report")
+    assert report and "latency" in open(report, encoding="utf-8").read()
+
+
+# -- resumability and determinism ----------------------------------------
+
+
+def _record_bytes(store, fingerprint):
+    with open(store.record_path(fingerprint), "rb") as fh:
+        return fh.read()
+
+
+def test_fresh_run_then_cache_hit_is_byte_identical(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    first = run_specs([SPEC_NX], store)
+    assert [o.status for o in first] == ["ran"]
+    before = _record_bytes(store, SPEC_NX.fingerprint)
+
+    second = run_specs([SPEC_NX], store)
+    assert [o.status for o in second] == ["cached"]
+    assert second[0].cached
+    assert _record_bytes(store, SPEC_NX.fingerprint) == before
+
+    # Even a forced re-execution reproduces the record byte-for-byte:
+    # the run is virtual-time deterministic and carries no clock fields.
+    forced = run_specs([SPEC_NX], store, force=True)
+    assert [o.status for o in forced] == ["ran"]
+    assert _record_bytes(store, SPEC_NX.fingerprint) == before
+
+
+def test_two_worker_fanout_matches_serial_records(tmp_path):
+    specs = [SPEC_NX, SPEC_NIC]
+    serial = RunStore(str(tmp_path / "serial"))
+    run_specs(specs, serial, workers=1)
+    fanout = RunStore(str(tmp_path / "fanout"))
+    outcomes = run_specs(specs, fanout, workers=2)
+    assert [o.status for o in outcomes] == ["ran", "ran"]
+    for spec in specs:
+        assert _record_bytes(serial, spec.fingerprint) == _record_bytes(
+            fanout, spec.fingerprint
+        )
+
+
+def test_corrupted_record_is_detected_and_rerun(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    run_specs([SPEC_NX], store)
+    good = _record_bytes(store, SPEC_NX.fingerprint)
+    path = store.record_path(SPEC_NX.fingerprint)
+
+    # Truncation (the partial-write shape): invalid, re-run, not served.
+    with open(path, "wb") as fh:
+        fh.write(good[: len(good) // 2])
+    assert store.status(SPEC_NX) == "invalid"
+    assert [o.status for o in run_specs([SPEC_NX], store)] == ["reran"]
+    assert _record_bytes(store, SPEC_NX.fingerprint) == good
+
+    # Tampering (spec no longer hashes to the directory name): same.
+    record = json.loads(good)
+    record["spec"]["nodes"] = 99
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh)
+    assert store.status(SPEC_NX) == "invalid"
+    with pytest.raises(StoreError):
+        store.load(SPEC_NX.fingerprint)
+    assert [o.status for o in run_specs([SPEC_NX], store)] == ["reran"]
+    assert _record_bytes(store, SPEC_NX.fingerprint) == good
+
+    # A missing sidecar also invalidates the record.
+    trace = store.artifact_path(store.load(SPEC_NX.fingerprint), "trace")
+    os.unlink(trace)
+    assert store.status(SPEC_NX) == "invalid"
+    assert [o.status for o in run_specs([SPEC_NX], store)] == ["reran"]
+    assert os.path.exists(trace)
+
+
+def test_missing_record_is_a_miss_not_an_error(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    assert store.status(SPEC_NX) == "miss"
+    assert store.fingerprints() == []
+    with pytest.raises(StoreError):
+        store.load(SPEC_NX.fingerprint)
+
+
+def test_duplicate_specs_collapse_and_errors_are_reported(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    bogus = make_spec("no-such-workload", nodes=4)
+    outcomes = run_specs([SPEC_NX, SPEC_NX, bogus], store)
+    assert len(outcomes) == 2  # duplicate collapsed
+    by_status = {o.status for o in outcomes}
+    assert by_status == {"ran", "error"}
+    err = next(o for o in outcomes if o.status == "error")
+    assert "no-such-workload" in err.error
+    assert store.status(bogus) == "miss"  # nothing committed for the error
+
+
+def test_fault_plan_runs_trip_the_monitor(tmp_path):
+    store = RunStore(str(tmp_path / "runs"))
+    spec = make_spec("ping", nodes=2, fault_plan="drop1", reliable=True,
+                     ops=4, nbytes=64)
+    execute_spec(spec, store)
+    record = store.load(spec.fingerprint)
+    assert record["spec"]["fault_plan"] == "drop1"
+    monitor = record["monitor"]
+    if not monitor["healthy"]:
+        assert store.artifact_path(record, "postmortem")
+
+
+def test_build_record_embeds_bench_schema_entry():
+    workload = resolve_workload("coll")
+    result = workload.run(SPEC_NX)
+    record, sidecars = build_record(SPEC_NX, result)
+    entry = record["bench"]
+    # Field-compatible with BENCH_* entries so the explorer can feed two
+    # records straight into bench.compare.compare_docs.
+    for key in ("unit", "higher_is_better", "samples", "median", "mean",
+                "min", "max", "p95"):
+        assert key in entry, key
+    assert "trace.json" in sidecars

@@ -199,3 +199,49 @@ def test_coll_study_cell_and_formatting():
     text = format_coll_study([nx, host, nic])
     assert "NIC-side barrier speedup" in text
     assert "tree-nic" in text and "tree-host" in text
+
+
+def test_cli_list_prints_machine_readable_registry(capsys):
+    """--list emits one name<TAB>description line per family, runs
+    nothing, and exits 0 — the format the fleet catalog ingests."""
+    from repro.study.__main__ import FAMILIES, main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) == len(FAMILIES)
+    for line, (name, (description, _in_all, _e)) in zip(
+        lines, FAMILIES.items()
+    ):
+        family, _, text = line.partition("\t")
+        assert family == name
+        assert text == description
+
+
+def test_cli_exits_nonzero_when_a_family_raises(capsys, monkeypatch):
+    """A raising family is reported on stderr with a traceback and turns
+    the exit status non-zero; the other families still run."""
+    from repro.study import __main__ as cli
+
+    def boom(runner, nodes):
+        raise RuntimeError("synthetic family failure")
+
+    families = {
+        "micro": ("broken on purpose", True, boom),
+        "okay": ("still healthy", True, lambda runner, nodes: "okay ran"),
+    }
+    monkeypatch.setattr(cli, "FAMILIES", families)
+    assert cli.main(["all"]) == 1
+    captured = capsys.readouterr()
+    assert "family micro raised" in captured.err
+    assert "synthetic family failure" in captured.err
+    assert "FAILED family: micro" in captured.err
+    # The healthy families still emitted their reports.
+    assert "okay ran" in captured.out
+
+
+def test_cli_single_family_success_exits_zero(capsys):
+    from repro.study.__main__ import main
+
+    assert main(["micro", "--nodes", "4"]) == 0
+    assert "DU one-word latency" in capsys.readouterr().out

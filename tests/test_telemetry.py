@@ -177,6 +177,65 @@ def test_chrome_trace_round_trips_json():
     assert all(pid in (0, 1, SIM_PID) for pid in pids)
 
 
+def test_chrome_trace_track_metadata_names_and_orders_lanes():
+    """Every (pid, tid) lane carries thread_name/thread_sort_index metadata
+    pinning the pipeline ordering of TRACK_ORDER, and every pid carries
+    process_name/process_sort_index — so a drill-down from the explorer
+    lands in a labeled, ordered timeline."""
+    from repro.telemetry.export import COUNTER_TRACK, TRACK_ORDER
+
+    machine = _du_ping(Machine(num_nodes=2, telemetry=True))
+    events = to_chrome_trace(machine.telemetry)["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {}
+    orders = {}
+    for event in meta:
+        key = (event["pid"], event["tid"])
+        if event["name"] == "thread_name":
+            names[key] = event["args"]["name"]
+        elif event["name"] == "thread_sort_index":
+            orders[key] = event["args"]["sort_index"]
+    # Every named lane also has a sort index, and vice versa.
+    assert set(names) == set(orders)
+    # Every non-metadata event's lane is named.
+    for event in events:
+        if event["ph"] in ("M", "s", "f"):
+            continue
+        assert (event["pid"], event["tid"]) in names, event
+    # Sort indices realize TRACK_ORDER: tx lanes sort before the wire,
+    # which sorts before rx lanes.
+    by_name = {}
+    for key, track in names.items():
+        by_name.setdefault(track, orders[key])
+    assert by_name["nic.tx"] < by_name["net"] < by_name["nic.rx"]
+    for track, index in by_name.items():
+        if track in TRACK_ORDER:
+            assert index == TRACK_ORDER.index(track)
+    # Counters live on their own named track, not a bare tid.
+    counter_lanes = {
+        (e["pid"], e["tid"]) for e in events if e["ph"] == "C"
+    }
+    assert counter_lanes
+    for lane in counter_lanes:
+        assert names[lane] == COUNTER_TRACK
+    # Processes are named and ordered: nodes by id, simulator last.
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in meta if e["name"] == "process_name"
+    }
+    process_orders = {
+        e["pid"]: e["args"]["sort_index"]
+        for e in meta if e["name"] == "process_sort_index"
+    }
+    assert set(process_names) == set(process_orders)
+    assert process_names[0] == "node 0"
+    assert process_names[1] == "node 1"
+    assert process_orders[0] < process_orders[1]
+    if SIM_PID in process_names:
+        assert process_names[SIM_PID] == "simulator"
+        assert process_orders[SIM_PID] > process_orders[1]
+
+
 def test_jsonl_export_one_document_per_line():
     machine = _du_ping(Machine(num_nodes=2, telemetry=True))
     lines = list(to_jsonl(machine.telemetry))
