@@ -26,6 +26,7 @@ from .monitor import HealthMonitor, MonitorConfig, Postmortem
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
 from .serve import ServeCluster, ServeConfig, SloReport
+from .shard import ShardSpec, run_serial, run_sharded, spec_for_nodes
 from .sim import Simulator, Timeout
 from .telemetry import Telemetry
 from .vmmc import (
@@ -36,7 +37,7 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Machine",
@@ -67,6 +68,10 @@ __all__ = [
     "ServeCluster",
     "ServeConfig",
     "SloReport",
+    "ShardSpec",
+    "spec_for_nodes",
+    "run_serial",
+    "run_sharded",
     "Simulator",
     "Telemetry",
     "Timeout",

@@ -47,6 +47,7 @@ from .perf import (
     PERF_REGISTRY,
     PerfResult,
     PerfSpec,
+    bootstrap_ci,
     load_perf,
     render_perf,
     render_perf_comparison,
@@ -75,6 +76,7 @@ __all__ = [
     "PERF_REGISTRY",
     "select_perf",
     "run_perf",
+    "bootstrap_ci",
     "write_perf",
     "load_perf",
     "render_perf",

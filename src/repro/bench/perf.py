@@ -19,20 +19,30 @@ The suite has two families:
   (timeout wheel), queue handoff and resource contention;
 * **system** — end-to-end VMMC message streams (the DU ping and the 15-to-1
   fan-in) run without telemetry, exercising the NIC, backplane and
-  notification fast paths together.
+  notification fast paths together;
+* **scaling** — the large-mesh shard model (:mod:`repro.shard`) at a fixed
+  256-node spec across worker counts, so one document captures the
+  parallel-simulation speedup curve of the host it ran on.
 
-Each benchmark runs ``repeats`` times and reports the best run (standard
-microbenchmark practice: the minimum-noise sample), both events/sec and,
-for the system family, packets/sec.
+Each benchmark is measured ``repeats`` times and summarized in the
+Kalibera & Jones repeated-measurement style: the document stores every
+per-run throughput sample plus the median (the headline
+``events_per_sec``), mean, min/max and a bootstrap 95% confidence
+interval of the median, instead of the old schema-1 best-of-N single
+number.  The bootstrap resampling is deterministically seeded, so
+re-summarizing the same samples always yields the same interval.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import platform
+import random
+import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim import Queue, Resource, Signal, Simulator, Timeout
 
@@ -47,9 +57,14 @@ __all__ = [
     "load_perf",
     "render_perf",
     "render_perf_comparison",
+    "bootstrap_ci",
 ]
 
-PERF_SCHEMA_VERSION = 1
+PERF_SCHEMA_VERSION = 2
+
+#: Schemas ``load_perf`` accepts: 1 (best-of-N) is readable as a baseline
+#: for comparisons; new documents are always written at the current schema.
+PERF_READABLE_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -279,6 +294,38 @@ def _fanin_15(scale: int) -> PerfResult:
     return _stream(senders=15, nbytes=4096, ops=max(1, scale // 15))
 
 
+# -- scaling family ------------------------------------------------------
+
+
+def _shard_scaling(scale: int, workers: int) -> PerfResult:
+    """The 256-node shard model under ``workers`` processes.
+
+    ``scale`` is the injection window in us of virtual time.  The three
+    registered worker counts share one spec, so the per-document speedup
+    (``speedup_vs_w1``) isolates the parallel-execution effect: by the
+    shard determinism contract every worker count computes the same bytes.
+    Deliveries are not recorded — this measures the execution engine, not
+    the telemetry path.
+    """
+    from ..shard import ShardSpec, run_serial, run_sharded
+
+    spec = ShardSpec(
+        width=16,
+        height=16,
+        workload="transpose",
+        duration_us=float(scale),
+        record_deliveries=False,
+    )
+    result = run_sharded(spec, workers) if workers > 1 else run_serial(spec)
+    return PerfResult(
+        elapsed_s=result.wall_s,
+        events=result.events,
+        packets=result.packets_delivered,
+        ops=result.packets_delivered,
+        sim_time_us=result.virtual_end_us,
+    )
+
+
 _register(
     PerfSpec(
         "engine_ring", _engine_ring, scale=200_000, quick_scale=30_000,
@@ -316,9 +363,84 @@ _register(
         description="one-page DU sends, 15-to-1 fan-in (contention)",
     )
 )
+for _workers in (1, 2, 4):
+    _register(
+        PerfSpec(
+            f"scaling_256_w{_workers}",
+            functools.partial(_shard_scaling, workers=_workers),
+            scale=300, quick_scale=60, family="scaling",
+            description=(
+                f"16x16 shard model, transpose traffic, {_workers} worker"
+                f"{'s' if _workers > 1 else ''} (scale = duration us)"
+            ),
+        )
+    )
 
 
 # -- harness -------------------------------------------------------------
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 19980513,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the median.
+
+    Deterministic: the resampling RNG is seeded from ``seed`` only, so the
+    same samples always produce the same interval (re-rendering a stored
+    document never drifts).  With a single sample the interval collapses
+    to a point.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if len(samples) == 1:
+        return samples[0], samples[0]
+    rng = random.Random(seed)
+    n = len(samples)
+    medians = sorted(
+        statistics.median(rng.choices(samples, k=n)) for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = min(resamples - 1, max(0, int(alpha * resamples)))
+    hi_index = min(resamples - 1, max(0, int((1.0 - alpha) * resamples) - 1))
+    return medians[lo_index], medians[hi_index]
+
+
+def _summarize(spec: PerfSpec, results: List[PerfResult]) -> Dict:
+    """One benchmark's schema-2 entry: representative run + sample stats.
+
+    The headline ``events_per_sec`` is the **median** across repeats (the
+    schema-1 field name is kept so comparisons work across schemas); the
+    run whose throughput is closest to the median supplies the raw
+    events/elapsed/packets fields.
+    """
+    rates = [result.events_per_sec for result in results]
+    median = statistics.median(rates)
+    representative = min(results, key=lambda r: abs(r.events_per_sec - median))
+    ci_lo, ci_hi = bootstrap_ci(rates)
+    entry: Dict = {
+        "family": spec.family,
+        "ops": representative.ops,
+        "events": representative.events,
+        "elapsed_s": representative.elapsed_s,
+        "events_per_sec": median,
+        "sim_time_us": representative.sim_time_us,
+        "stats": {
+            "repeats": len(rates),
+            "samples_events_per_sec": rates,
+            "mean": statistics.fmean(rates),
+            "min": min(rates),
+            "max": max(rates),
+            "ci95_lo": ci_lo,
+            "ci95_hi": ci_hi,
+        },
+    }
+    if spec.family in ("system", "scaling"):
+        entry["packets"] = representative.packets
+        entry["packets_per_sec"] = representative.packets_per_sec
+    return entry
 
 
 def run_perf(
@@ -335,27 +457,25 @@ def run_perf(
     benchmarks: Dict[str, Dict] = {}
     for spec in specs:
         scale = spec.quick_scale if quick else spec.scale
-        best: Optional[PerfResult] = None
-        for _ in range(max(1, repeats)):
-            result = spec.runner(scale)
-            if best is None or result.events_per_sec > best.events_per_sec:
-                best = result
-        entry: Dict = {
-            "family": spec.family,
-            "ops": best.ops,
-            "events": best.events,
-            "elapsed_s": best.elapsed_s,
-            "events_per_sec": best.events_per_sec,
-            "sim_time_us": best.sim_time_us,
-        }
-        if spec.family == "system":
-            entry["packets"] = best.packets
-            entry["packets_per_sec"] = best.packets_per_sec
+        results = [spec.runner(scale) for _ in range(max(1, repeats))]
+        entry = _summarize(spec, results)
         benchmarks[spec.name] = entry
         if log is not None:
+            stats = entry["stats"]
             log(
-                f"{spec.name}: {best.events_per_sec:,.0f} events/s "
-                f"({best.events} events in {best.elapsed_s:.3f}s)"
+                f"{spec.name}: {entry['events_per_sec']:,.0f} events/s "
+                f"median of {stats['repeats']} "
+                f"(95% CI [{stats['ci95_lo']:,.0f}, {stats['ci95_hi']:,.0f}])"
+            )
+    # The scaling family's headline: parallel speedup over the 1-worker
+    # run of the same spec, from the medians.
+    for name, entry in benchmarks.items():
+        if entry["family"] != "scaling" or name.endswith("_w1"):
+            continue
+        base = benchmarks.get(name.rsplit("_w", 1)[0] + "_w1")
+        if base is not None and base["events_per_sec"] > 0:
+            entry["speedup_vs_w1"] = (
+                entry["events_per_sec"] / base["events_per_sec"]
             )
     return {
         "schema": PERF_SCHEMA_VERSION,
@@ -385,10 +505,10 @@ def write_perf(doc: Dict, path: str) -> str:
 def load_perf(path: str) -> Dict:
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("kind") != "perf" or doc.get("schema") != PERF_SCHEMA_VERSION:
+    if doc.get("kind") != "perf" or doc.get("schema") not in PERF_READABLE_SCHEMAS:
         raise ValueError(
-            f"{path}: not a perf document (kind={doc.get('kind')!r}, "
-            f"schema={doc.get('schema')!r})"
+            f"{path}: not a readable perf document (kind={doc.get('kind')!r}, "
+            f"schema={doc.get('schema')!r}, readable={PERF_READABLE_SCHEMAS})"
         )
     return doc
 
@@ -399,6 +519,20 @@ def render_perf(doc: Dict) -> str:
 
     rows = []
     for name, entry in doc["benchmarks"].items():
+        stats = entry.get("stats")
+        if stats is not None:
+            ci = f"[{stats['ci95_lo']:,.0f}, {stats['ci95_hi']:,.0f}]"
+        else:  # schema-1 document: a single best-of-N number, no interval
+            ci = "-"
+        if entry["family"] == "scaling":
+            extra = (
+                f"{entry['speedup_vs_w1']:.2f}x vs w1"
+                if "speedup_vs_w1" in entry else "(baseline)"
+            )
+        elif entry["family"] == "system":
+            extra = f"{entry.get('packets_per_sec', 0.0):,.0f} pkt/s"
+        else:
+            extra = "-"
         rows.append(
             [
                 name,
@@ -406,14 +540,17 @@ def render_perf(doc: Dict) -> str:
                 entry["events"],
                 f"{entry['elapsed_s']:.3f}",
                 f"{entry['events_per_sec']:,.0f}",
-                f"{entry.get('packets_per_sec', 0.0):,.0f}"
-                if entry["family"] == "system" else "-",
+                ci,
+                extra,
             ]
         )
     return format_table(
         f"Perf (wall-clock): {doc['label']} "
         f"[{doc['host']['implementation']} {doc['host']['python']}]",
-        ["benchmark", "family", "events", "seconds", "events/s", "packets/s"],
+        [
+            "benchmark", "family", "events", "seconds", "events/s",
+            "95% CI", "notes",
+        ],
         rows,
     )
 

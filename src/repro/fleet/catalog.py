@@ -282,6 +282,17 @@ BUILTIN_MATRICES: Dict[str, Dict] = {
             "nodes": [4, 8, 16, 32],
         },
     },
+    # Large-mesh latency under the shard model, past the paper scale.
+    # Virtual-time results only, so records regenerate byte-identically
+    # regardless of how many workers executed them.
+    "largemesh": {
+        "name": "largemesh",
+        "matrix": {
+            "workload": ["shard"],
+            "params": [{"pattern": "uniform"}, {"pattern": "transpose"}],
+            "nodes": [64, 256],
+        },
+    },
 }
 
 

@@ -14,6 +14,10 @@ inventing new measurement paths:
   into node 0, samples = ``vmmc.send`` span durations.
 * ``serve`` — a :class:`repro.serve.ServeCluster` run; samples =
   ``serve.request`` span durations, goodput in ``metrics``.
+* ``shard`` — the large-mesh packet model (:mod:`repro.shard`) at
+  ``spec.nodes``; samples = per-delivery latencies in virtual time,
+  counters in ``metrics``.  Worker count never changes the result (the
+  shard determinism contract), so records stay reproducible.
 * ``bench:<name>`` — any benchmark registered in
   :data:`repro.bench.core.REGISTRY`, run at ``spec.seed``.
 * ``study:<family>`` — a :data:`repro.study.__main__.FAMILIES` entry;
@@ -313,19 +317,62 @@ def _run_serve(spec) -> FleetResult:
     )
 
 
+def _run_shard(spec) -> FleetResult:
+    """The large-mesh shard model at ``spec.nodes`` (virtual time only).
+
+    Samples are per-delivery latencies; counters (packets, events, hops)
+    land in ``metrics``.  Wall-clock figures (events/s, epochs) are
+    deliberately excluded: records must regenerate byte-identically, and
+    the shard contract makes the result independent of the worker count —
+    ``workers`` only changes how fast the same bytes are produced.
+    """
+    from ..shard import run_serial, run_sharded, spec_for_nodes
+
+    _require_defaults(spec, nodes_free=True)
+    workers = int(spec.param("workers", 1))
+    shard_spec = spec_for_nodes(
+        spec.nodes,
+        workload=str(spec.param("pattern", "uniform")),
+        duration_us=float(spec.param("duration_us", 120.0)),
+        inject_interval_us=float(spec.param("interval_us", 1.0)),
+        packet_bytes=int(spec.param("nbytes", 256)),
+        seed=spec.seed,
+    )
+    result = (
+        run_sharded(shard_spec, workers) if workers > 1 else run_serial(shard_spec)
+    )
+    return FleetResult(
+        unit="us",
+        higher_is_better=False,
+        samples=result.latency_samples(),
+        ops=result.packets_delivered,
+        virtual_end_us=result.virtual_end_us,
+        metrics={
+            "packets_injected": float(result.packets_injected),
+            "packets_delivered": float(result.packets_delivered),
+            "events": float(result.events),
+            "mean_hops": result.mean_hops,
+            "mean_latency_us": result.mean_latency_us,
+        },
+    )
+
+
 def _require_defaults(spec, *, nodes_free: bool = False) -> None:
-    """``bench:``/``study:`` entry points own their machines: the spec's
-    platform/fault axes (and for ``bench:`` the node count) must stay at
-    their defaults rather than being silently ignored."""
+    """``bench:``/``study:``/``shard`` entry points own their machines: the
+    spec's platform/fault axes (and for ``bench:`` the node count) must stay
+    at their defaults rather than being silently ignored."""
+    from .catalog import ExperimentSpec
+
     if spec.platform != "shrimp" or spec.fault_plan != "none":
         raise ValueError(
             f"workload {spec.workload!r} fixes its own machine; "
             "platform/fault_plan must be the defaults"
         )
-    if not nodes_free and spec.nodes != 16:
+    default_nodes = ExperimentSpec.__dataclass_fields__["nodes"].default
+    if not nodes_free and spec.nodes != default_nodes:
         raise ValueError(
             f"workload {spec.workload!r} fixes its own machine; "
-            "leave nodes at the default (16)"
+            f"leave nodes at the default ({default_nodes})"
         )
 
 
@@ -396,6 +443,13 @@ _register(
         "serve", "us", False,
         "serving-tier request latency: balancer=..., rps=..., duration_us=...",
         _run_serve,
+    )
+)
+_register(
+    FleetWorkload(
+        "shard", "us", False,
+        "large-mesh packet latency: pattern=..., duration_us=..., workers=N",
+        _run_shard,
     )
 )
 

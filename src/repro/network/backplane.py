@@ -28,7 +28,7 @@ from ..sim import Resource, Simulator, StatsRegistry, Timeout
 from ..faults import Fate
 from ..hardware import MachineParams
 from .packet import Packet
-from .topology import LinkId, MeshTopology
+from .topology import LinkId, MeshTopology, route_cache_cap
 
 __all__ = ["Backplane"]
 
@@ -63,26 +63,18 @@ class Backplane:
         #: Installed by Machine.install_fault_plan; None means a perfect
         #: fabric and zero overhead (one predicate check per packet).
         self.fault_plan = None
-        # Hot-path handle caches.  Routes are fully precomputed at
-        # construction: one dict lookup per packet yields the link-id path
-        # *and* the Resource objects to hold, replacing per-hop dict
-        # lookups and per-packet XY recomputation.  (<= num_nodes**2
-        # entries — 256 on the 16-node mesh.)
+        # Hot-path handle caches.  Routes are memoized on first use: one
+        # dict lookup per packet yields the link-id path *and* the Resource
+        # objects to hold, replacing per-hop dict lookups and per-packet XY
+        # recomputation.  The entry budget scales with the topology (all
+        # pairs at 16 nodes — the historical eager table — a bounded
+        # working set at 1024, where all-pairs would mean ~1M paths built
+        # up front for traffic that may touch a fraction of them).
         self._routes: Dict[
             Tuple[int, int],
             Tuple[List[LinkId], Tuple[Resource, ...], Resource, float],
         ] = {}
-        for src in range(self.topology.num_nodes):
-            for dst in range(self.topology.num_nodes):
-                if src == dst:
-                    continue
-                path = self.topology.xy_route(src, dst)
-                self._routes[(src, dst)] = (
-                    path,
-                    tuple(self._links[link_id] for link_id in path),
-                    self._ejection[dst],
-                    len(path) * self.params.router_hop_us,
-                )
+        self._route_cap = route_cache_cap(self.topology.num_nodes)
         # Stat counters are bound lazily on first use (binding them here
         # would make them appear, zero-valued, in snapshots of runs that
         # never touch the network) and cached for every later packet.
@@ -104,6 +96,24 @@ class Backplane:
 
     def link(self, link_id: LinkId) -> Resource:
         return self._links[link_id]
+
+    def _route_for(
+        self, src: int, dst: int
+    ) -> Tuple[List[LinkId], Tuple[Resource, ...], Resource, float]:
+        """The memoized (path, link handles, ejection, base latency) tuple."""
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            path = self.topology.xy_route(src, dst)
+            route = (
+                path,
+                tuple(self._links[link_id] for link_id in path),
+                self._ejection[dst],
+                len(path) * self.params.router_hop_us,
+            )
+            if len(self._routes) < self._route_cap:
+                self._routes[key] = route
+        return route
 
     def _link_timeline(self, tel, link_id: LinkId):
         """The cached utilization Timeline for one link."""
@@ -151,7 +161,7 @@ class Backplane:
                 tel.end(span, hops=0)
             return
 
-        path, links, ejection, base_latency = self._routes[(packet.src, packet.dst)]
+        path, links, ejection, base_latency = self._route_for(packet.src, packet.dst)
         if tel is None:
             # Hot path: no per-link timeline bookkeeping when telemetry is
             # off — acquisition order and timing are identical either way,

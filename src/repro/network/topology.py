@@ -12,20 +12,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-__all__ = ["MeshTopology", "LinkId"]
+__all__ = ["MeshTopology", "LinkId", "route_cache_cap"]
 
 #: A directed link identified by (from_node, to_node).
 LinkId = Tuple[int, int]
+
+
+def route_cache_cap(num_nodes: int) -> int:
+    """Route-memo entry budget for a mesh of ``num_nodes``.
+
+    All ``num_nodes**2`` pairs on small meshes (256 entries at 16 nodes,
+    exactly the historical eager table), a generous working set on large
+    ones (32 routes per node, floor 4096) instead of the quadratic blowup
+    that would hold a million paths at 1024 nodes.
+    """
+    return min(num_nodes * num_nodes, max(4096, 32 * num_nodes))
 
 
 @dataclass(frozen=True)
 class MeshTopology:
     """A width x height mesh of nodes numbered row-major from 0.
 
-    ``xy_route`` and ``hop_count`` are memoized per (src, dst) pair — at
-    most ``num_nodes**2`` entries (256 on the 16-node mesh), computed on
-    first use.  Cached routes are returned by reference: treat them as
-    immutable.
+    Dimensions are arbitrary (non-square meshes included): a 64-node mesh
+    may be 8x8 or 16x4, and routing treats both correctly.  ``xy_route``
+    and ``hop_count`` are memoized per (src, dst) pair, computed on first
+    use, under a cache cap that scales with the topology — all pairs fit
+    on small meshes, while a 1024-node mesh keeps only its working set
+    instead of a million route lists.  Cached routes are returned by
+    reference: treat them as immutable.
     """
 
     width: int
@@ -39,6 +53,7 @@ class MeshTopology:
         # and do not participate in eq/hash).
         object.__setattr__(self, "_route_cache", {})
         object.__setattr__(self, "_hop_cache", {})
+        object.__setattr__(self, "_cache_cap", route_cache_cap(self.num_nodes))
 
     @property
     def num_nodes(self) -> int:
@@ -75,12 +90,28 @@ class MeshTopology:
                 out.append((node, nbr))
         return out
 
+    def next_hop(self, src: int, dst: int) -> int:
+        """The first hop from ``src`` toward ``dst`` under XY routing.
+
+        O(1) with no allocation — the per-hop primitive for simulations
+        (like :mod:`repro.shard`) that route incrementally instead of
+        materializing whole paths.  ``src == dst`` is an error: a delivered
+        packet has no next hop.
+        """
+        if src == dst:
+            raise ValueError("next_hop undefined for src == dst")
+        width = self.width
+        x, dx = src % width, dst % width
+        if x != dx:
+            return src + 1 if dx > x else src - 1
+        return src + width if dst > src else src - width
+
     def xy_route(self, src: int, dst: int) -> List[LinkId]:
         """The sequence of directed links from src to dst under XY routing.
 
         Empty when src == dst (a node talking to itself never enters the
-        backplane).  Memoized: repeated calls return the same list object —
-        do not mutate it.
+        backplane).  Memoized under the topology-scaled cache cap: repeated
+        calls usually return the same list object — do not mutate it.
         """
         cached = self._route_cache.get((src, dst))
         if cached is not None:
@@ -97,7 +128,8 @@ class MeshTopology:
             ny = y + (1 if dy > y else -1)
             path.append((self.node_at(x, y), self.node_at(x, ny)))
             y = ny
-        self._route_cache[(src, dst)] = path
+        if len(self._route_cache) < self._cache_cap:
+            self._route_cache[(src, dst)] = path
         return path
 
     def hop_count(self, src: int, dst: int) -> int:
@@ -107,5 +139,6 @@ class MeshTopology:
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         hops = abs(sx - dx) + abs(sy - dy)
-        self._hop_cache[(src, dst)] = hops
+        if len(self._hop_cache) < self._cache_cap:
+            self._hop_cache[(src, dst)] = hops
         return hops

@@ -34,23 +34,48 @@ class Machine:
         vmmc = VMMCRuntime(machine)
         ...
         machine.sim.run()
+
+    Node count and mesh shape are fully parametric.  ``Machine()`` fills
+    the params mesh (16 nodes on the default 4x4); ``Machine(num_nodes=N)``
+    widens the mesh to a near-square holding ``N`` when needed; explicit
+    ``width``/``height`` (given together) force an exact — possibly
+    non-square — mesh shape: ``Machine(width=16, height=4)`` is a 64-node
+    machine on a 16x4 mesh.
     """
 
     def __init__(
         self,
-        num_nodes: int = 16,
+        num_nodes: Optional[int] = None,
         params: Optional[MachineParams] = None,
         nic_config: Optional[NICConfig] = None,
         seed: int = 1998,
         fault_config=None,
         telemetry: bool = False,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
     ):
+        base = params or DEFAULT_PARAMS
+        if (width is None) != (height is None):
+            raise ValueError("width and height must be given together")
+        if width is not None:
+            if width < 1 or height < 1:
+                raise ValueError("mesh dimensions must be positive")
+            base = base.with_overrides(mesh_width=width, mesh_height=height)
+            if num_nodes is None:
+                num_nodes = width * height
+            elif num_nodes > width * height:
+                raise ValueError(
+                    f"{num_nodes} nodes do not fit a {width}x{height} mesh"
+                )
+        elif num_nodes is None:
+            num_nodes = base.mesh_width * base.mesh_height
         if num_nodes < 1:
             raise ValueError("need at least one node")
-        base = params or DEFAULT_PARAMS
-        width, height = _mesh_for(num_nodes)
         if base.mesh_width * base.mesh_height < num_nodes:
-            base = base.with_overrides(mesh_width=width, mesh_height=height)
+            mesh_width, mesh_height = _mesh_for(num_nodes)
+            base = base.with_overrides(
+                mesh_width=mesh_width, mesh_height=mesh_height
+            )
         self.params = base
         self.nic_config = nic_config or DEFAULT_NIC_CONFIG
         self.num_nodes = num_nodes

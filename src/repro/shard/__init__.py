@@ -1,0 +1,51 @@
+"""Sharded large-mesh simulation: conservative-lookahead parallel DES.
+
+Everything in :mod:`repro.sim` runs one event loop on one core, which caps
+mesh studies at a few dozen nodes.  This package is the way past that wall:
+the mesh is cut into ``k`` spatial partitions, each owned by a worker
+process running its own event loop, with boundary links realized as
+inter-partition message queues and a conservative lookahead window equal to
+the minimum time any packet needs to cross a partition boundary
+(barrier-synchronized epochs, the classic conservative parallel-DES
+protocol).
+
+The load-bearing property is the **determinism contract** (DESIGN.md
+section 16): a sharded run reproduces the single-process run of the same
+:class:`ShardSpec` *byte for byte* — same deliveries, same per-node
+counters, same event count — for any worker count, because every event
+carries a partition-invariant total-order key ``(time, node, src, seq)``
+instead of the engine's insertion-ordered sequence number.
+
+Entry points::
+
+    from repro.shard import ShardSpec, run_serial, run_sharded
+
+    spec = ShardSpec(width=16, height=16, workload="transpose")
+    serial = run_serial(spec)
+    sharded = run_sharded(spec, workers=4)
+    assert serial.telemetry_digest() == sharded.telemetry_digest()
+
+or from the command line::
+
+    python -m repro.shard run --nodes 256 --workers 4
+    python -m repro.shard verify --nodes 64 --workers 4
+    python -m repro.shard scaling --nodes 64,256 --workers 1,2,4
+"""
+
+from .kernel import ShardKernel
+from .model import INJECT_SRC, PartitionSim, ShardSpec, spec_for_nodes
+from .partition import PartitionPlan, plan_partitions
+from .runner import ShardRunResult, run_serial, run_sharded
+
+__all__ = [
+    "INJECT_SRC",
+    "PartitionPlan",
+    "PartitionSim",
+    "ShardKernel",
+    "ShardRunResult",
+    "ShardSpec",
+    "plan_partitions",
+    "run_serial",
+    "run_sharded",
+    "spec_for_nodes",
+]

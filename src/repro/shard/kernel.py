@@ -1,0 +1,96 @@
+"""The per-partition event kernel: a keyed, partition-invariant loop.
+
+Why not :class:`repro.sim.Simulator`?  The engine orders same-time events
+by an insertion-ordered sequence number — bit-for-bit reproducible for one
+process, but *partition-dependent*: which events interleave their
+insertions depends on which nodes share a loop, so a 4-worker run would
+tie-break same-time link contention differently than the single-process
+run and the telemetry streams would diverge.
+
+This kernel replaces the sequence number with a **model-assigned total
+order key**.  Every event is the tuple::
+
+    (time, node, src, seq, payload)
+
+and executes in ascending ``(time, node, src, seq)`` order.  The key is a
+pure function of the model (never of scheduling history), and the model
+guarantees (see DESIGN.md section 16):
+
+* keys are globally unique — the heap never compares payloads;
+* an executing event only creates events with strictly larger keys
+  (every created event lies strictly later in time);
+* same-time events that touch shared state always share a ``node`` (link
+  state is owned by the link's source node), so ordering between them is
+  fixed by ``(src, seq)`` alone.
+
+Under those rules the restriction of the global key order to any subset of
+nodes is exactly what a partition owning those nodes executes — which is
+the whole determinism argument for :mod:`repro.shard.runner`.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["ShardKernel", "ShardEvent"]
+
+#: (time, node, src, seq, payload); src is INJECT_SRC (-1) for injections.
+ShardEvent = Tuple[float, int, int, int, object]
+
+
+class ShardKernel:
+    """A minimal keyed event loop for one partition.
+
+    ``handler`` is called with each popped event; it may call :meth:`push`
+    to schedule further events (strictly later in time).  ``run_window``
+    is the conservative-epoch primitive: it executes every pending event
+    with ``time < end`` and leaves the rest queued, so the runner can
+    alternate execution windows with boundary-message exchanges.
+    """
+
+    __slots__ = ("handler", "_heap", "events_processed")
+
+    def __init__(self, handler: Callable[[ShardEvent], None]):
+        self.handler = handler
+        self._heap: List[ShardEvent] = []
+        #: Total events executed (the scaling studies' throughput basis).
+        self.events_processed = 0
+
+    def push(self, event: ShardEvent) -> None:
+        heappush(self._heap, event)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (None when drained)."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_window(self, end: float) -> int:
+        """Execute every event with ``time < end``; return how many ran."""
+        heap = self._heap
+        handler = self.handler
+        count = 0
+        while heap and heap[0][0] < end:
+            handler(heappop(heap))
+            count += 1
+        self.events_processed += count
+        return count
+
+    def run_all(self) -> int:
+        """Drain the queue completely (the single-process path)."""
+        heap = self._heap
+        handler = self.handler
+        count = 0
+        while heap:
+            handler(heappop(heap))
+            count += 1
+        self.events_processed += count
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardKernel(pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
+        )

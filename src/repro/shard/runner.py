@@ -1,0 +1,323 @@
+"""Serial and sharded execution of a :class:`ShardSpec`.
+
+``run_serial`` drains one kernel holding every node — the reference
+trajectory.  ``run_sharded`` cuts the mesh into worker-process strips and
+advances them in **conservative barrier epochs**:
+
+1. the master picks the next window ``[T, T + lookahead)`` with ``T`` the
+   globally earliest pending event (idle regions are skipped wholesale);
+2. every worker receives the window plus the boundary messages routed to
+   it, executes exactly its events with ``time < T + lookahead`` in key
+   order, and replies with its new earliest pending time and the arrival
+   events it generated for other strips;
+3. repeat until no worker has pending events and no message is in flight.
+
+Safety is the lookahead bound: an event executed in ``[T, T + L)`` can
+only create remote events at ``>= T + L`` (every boundary crossing pays at
+least one header serialization plus one hop), so by induction every
+message reaches its strip's kernel before the window containing its
+timestamp runs.  Combined with the kernel's partition-invariant key order
+this makes the sharded trajectory *identical* — not statistically close —
+to the serial one: same deliveries, same counters, same event count, byte
+for byte.  ``ShardRunResult.telemetry_digest()`` is the gate CI holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import PartitionSim, ShardSpec, canonical_spec_line
+from .partition import plan_partitions
+
+__all__ = ["ShardRunResult", "run_serial", "run_sharded"]
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of one run (serial or sharded).
+
+    Everything except ``workers``, ``epochs``, ``boundary_msgs`` and
+    ``wall_s`` is a pure function of the spec; those four describe the
+    execution strategy and host and are excluded from the identity stream.
+    """
+
+    spec: ShardSpec
+    workers: int
+    #: node -> [injected, delivered, latency_sum, latency_max, hops_sum,
+    #: last_delivery_t]
+    node_stats: Dict[int, List[float]] = field(repr=False)
+    #: Sorted (time, node, src, seq, inject_t, hops) delivery records, or
+    #: None when the spec disabled per-delivery recording.
+    deliveries: Optional[List[Tuple]] = field(default=None, repr=False)
+    events: int = 0
+    epochs: int = 0
+    boundary_msgs: int = 0
+    wall_s: float = 0.0
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def packets_injected(self) -> int:
+        return sum(int(self.node_stats[n][0]) for n in self.node_stats)
+
+    @property
+    def packets_delivered(self) -> int:
+        return sum(int(self.node_stats[n][1]) for n in self.node_stats)
+
+    @property
+    def latency_sum_us(self) -> float:
+        return sum(self.node_stats[n][2] for n in sorted(self.node_stats))
+
+    @property
+    def latency_max_us(self) -> float:
+        return max(
+            (self.node_stats[n][3] for n in self.node_stats), default=0.0
+        )
+
+    @property
+    def mean_latency_us(self) -> float:
+        delivered = self.packets_delivered
+        return self.latency_sum_us / delivered if delivered else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        delivered = self.packets_delivered
+        hops = sum(int(self.node_stats[n][4]) for n in self.node_stats)
+        return hops / delivered if delivered else 0.0
+
+    @property
+    def virtual_end_us(self) -> float:
+        return max(
+            (self.node_stats[n][5] for n in self.node_stats),
+            default=self.spec.duration_us,
+        )
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_samples(self) -> List[float]:
+        """Per-delivery latencies in record order (virtual time only)."""
+        if self.deliveries is None:
+            raise ValueError(
+                "spec ran with record_deliveries=False; only counters exist"
+            )
+        return [time - inject_t for time, _n, _s, _q, inject_t, _h in self.deliveries]
+
+    # -- the identity stream ---------------------------------------------
+
+    def telemetry_lines(self) -> List[str]:
+        """The canonical event stream: what byte-identity is judged on.
+
+        One ``spec`` header, one ``d`` line per delivery in global key
+        order, one ``n`` line per node in id order, one total.  Floats use
+        ``repr`` (shortest round-trip), so any drift — a reordered
+        delivery, a float that took a different path — changes the bytes.
+        """
+        lines = [canonical_spec_line(self.spec)]
+        if self.deliveries is not None:
+            for time, node, src, seq, inject_t, hops in self.deliveries:
+                lines.append(f"d {time!r} {node} {src} {seq} {inject_t!r} {hops}")
+        for node in sorted(self.node_stats):
+            injected, delivered, lat_sum, lat_max, hops, last = self.node_stats[
+                node
+            ]
+            lines.append(
+                f"n {node} {int(injected)} {int(delivered)} {lat_sum!r} "
+                f"{lat_max!r} {int(hops)} {last!r}"
+            )
+        lines.append(
+            f"total injected={self.packets_injected} "
+            f"delivered={self.packets_delivered} events={self.events} "
+            f"latency_sum={self.latency_sum_us!r} "
+            f"latency_max={self.latency_max_us!r}"
+        )
+        return lines
+
+    def telemetry_bytes(self) -> bytes:
+        return ("\n".join(self.telemetry_lines()) + "\n").encode("utf-8")
+
+    def telemetry_digest(self) -> str:
+        return hashlib.sha256(self.telemetry_bytes()).hexdigest()
+
+    def summary(self) -> str:
+        return (
+            f"{self.spec.describe()} workers={self.workers}: "
+            f"{self.packets_delivered}/{self.packets_injected} packets, "
+            f"mean latency {self.mean_latency_us:.2f}us "
+            f"(max {self.latency_max_us:.2f}us, {self.mean_hops:.1f} hops), "
+            f"{self.events} events in {self.wall_s:.3f}s wall "
+            f"({self.events_per_sec:,.0f} ev/s, {self.epochs} epochs, "
+            f"{self.boundary_msgs} boundary msgs)"
+        )
+
+
+def _finish(
+    spec: ShardSpec,
+    workers: int,
+    node_stats: Dict[int, List[float]],
+    deliveries: Optional[List[Tuple]],
+    events: int,
+    epochs: int,
+    boundary: int,
+    wall_s: float,
+) -> ShardRunResult:
+    if deliveries is not None:
+        deliveries.sort()
+    return ShardRunResult(
+        spec=spec,
+        workers=workers,
+        node_stats=node_stats,
+        deliveries=deliveries,
+        events=events,
+        epochs=epochs,
+        boundary_msgs=boundary,
+        wall_s=wall_s,
+    )
+
+
+def run_serial(spec: ShardSpec) -> ShardRunResult:
+    """The single-process reference: one kernel, every node, no windows."""
+    start = _time.perf_counter()
+    plan = plan_partitions(spec, 1)
+    sim = PartitionSim(spec, 0, plan.part_of)
+    sim.seed_injections()
+    sim.kernel.run_all()
+    return _finish(
+        spec,
+        1,
+        sim.node_stats,
+        sim.deliveries if spec.record_deliveries else None,
+        sim.kernel.events_processed,
+        0,
+        0,
+        _time.perf_counter() - start,
+    )
+
+
+# -- the worker side -----------------------------------------------------
+
+
+def _worker_main(conn, spec: ShardSpec, me: int, workers: int) -> None:
+    """One strip's process: build, then serve epoch requests until fin."""
+    plan = plan_partitions(spec, workers)
+    sim = PartitionSim(spec, me, plan.part_of)
+    sim.seed_injections()
+    conn.send(("ready", sim.kernel.next_time()))
+    while True:
+        message = conn.recv()
+        if message[0] == "win":
+            _start, end, incoming = message[1], message[2], message[3]
+            sim.insert(incoming)
+            sim.kernel.run_window(end)
+            grouped: Dict[int, List] = {}
+            for part, event in sim.take_outbound():
+                grouped.setdefault(part, []).append(event)
+            conn.send(("done", sim.kernel.next_time(), grouped))
+        else:  # "fin"
+            conn.send(
+                (
+                    "stats",
+                    sim.node_stats,
+                    sim.deliveries if spec.record_deliveries else None,
+                    sim.kernel.events_processed,
+                    sim.boundary_sent,
+                )
+            )
+            conn.close()
+            return
+
+
+def _context():
+    """Fork where available (cheap workers); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context("spawn")
+
+
+def run_sharded(
+    spec: ShardSpec, workers: int, ctx=None
+) -> ShardRunResult:
+    """Run ``spec`` across ``workers`` strip processes (clamped to the
+    cut-axis length); byte-identical to :func:`run_serial` by contract."""
+    plan = plan_partitions(spec, workers)
+    if plan.workers == 1:
+        return run_serial(spec)
+    start_wall = _time.perf_counter()
+    ctx = ctx or _context()
+    lookahead = spec.lookahead_us
+    pipes = [ctx.Pipe() for _ in range(plan.workers)]
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(child, spec, part, plan.workers),
+            daemon=True,
+        )
+        for part, (_parent, child) in enumerate(pipes)
+    ]
+    conns = [parent for parent, _child in pipes]
+    for proc in procs:
+        proc.start()
+    for _parent, child in pipes:
+        child.close()
+    try:
+        next_times: List[Optional[float]] = []
+        for conn in conns:
+            tag, next_time = conn.recv()
+            assert tag == "ready"
+            next_times.append(next_time)
+        pending: List[List] = [[] for _ in range(plan.workers)]
+        epochs = 0
+        while True:
+            horizon = [t for t in next_times if t is not None]
+            horizon.extend(
+                event[0] for events in pending for event in events
+            )
+            if not horizon:
+                break
+            window_start = min(horizon)
+            window_end = window_start + lookahead
+            for part, conn in enumerate(conns):
+                conn.send(("win", window_start, window_end, pending[part]))
+                pending[part] = []
+            for part, conn in enumerate(conns):
+                _tag, next_time, grouped = conn.recv()
+                next_times[part] = next_time
+                for dest, events in grouped.items():
+                    pending[dest].extend(events)
+            epochs += 1
+        node_stats: Dict[int, List[float]] = {}
+        deliveries: Optional[List[Tuple]] = (
+            [] if spec.record_deliveries else None
+        )
+        events = 0
+        boundary = 0
+        for conn in conns:
+            conn.send(("fin",))
+        for conn in conns:
+            _tag, stats, part_deliveries, part_events, part_boundary = conn.recv()
+            node_stats.update(stats)
+            if deliveries is not None:
+                deliveries.extend(part_deliveries)
+            events += part_events
+            boundary += part_boundary
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+    return _finish(
+        spec,
+        plan.workers,
+        node_stats,
+        deliveries,
+        events,
+        epochs,
+        boundary,
+        _time.perf_counter() - start_wall,
+    )

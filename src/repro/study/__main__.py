@@ -9,9 +9,9 @@ description; ``--list`` prints the same registry as machine-readable
 ``name<TAB>description`` lines for the fleet catalog to ingest.  A
 family that raises is reported on stderr and reflected in a non-zero
 exit status.  ``all`` regenerates the paper-grounded families only;
-growth-direction families (``serve``, ``coll``) are excluded so that the
-output of ``all`` stays byte-stable as new families are added — run them
-by name.
+growth-direction families (``serve``, ``coll``, ``largemesh``) are
+excluded so that the output of ``all`` stays byte-stable as new families
+are added — run them by name.
 """
 
 from __future__ import annotations
@@ -29,6 +29,8 @@ from . import (
     figure4_svm,
     fifo_study,
     format_coll_study,
+    format_largemesh_study,
+    largemesh_study,
     format_combining_study,
     format_fifo_study,
     format_figure3,
@@ -144,6 +146,13 @@ FAMILIES = {
             coll_study(node_counts=sorted({4, 8, nodes}))
         ),
     ),
+    "largemesh": (
+        "large-mesh scaling: shard model at 16/64/256 nodes (not in `all`)",
+        False,
+        lambda runner, nodes: format_largemesh_study(
+            largemesh_study(node_counts=sorted({16, 64, max(256, nodes)}))
+        ),
+    ),
 }
 
 
@@ -154,10 +163,10 @@ def _epilog() -> str:
         lines.append(f"  {name:<{width}}{description}")
     lines.append(f"  {'all':<{width}}every family marked paper-grounded above")
     lines.append(
-        "\n`all` excludes the growth-direction families (serve, coll): they\n"
-        "extend the paper rather than reproduce it, and excluding them\n"
-        "keeps the byte-stable `all` output from changing as families are\n"
-        "added.  Run those by name."
+        "\n`all` excludes the growth-direction families (serve, coll,\n"
+        "largemesh): they extend the paper rather than reproduce it, and\n"
+        "excluding them keeps the byte-stable `all` output from changing\n"
+        "as families are added.  Run those by name."
     )
     return "\n".join(lines)
 

@@ -236,14 +236,16 @@ def test_cli_compare_fail_on_regression(tmp_path, capsys):
 # -- wall-clock perf mode ---------------------------------------------------
 
 
-def test_perf_registry_covers_engine_and_system_families():
+def test_perf_registry_covers_engine_system_scaling_families():
     assert {
         "engine_ring", "engine_timeouts", "queue_handoff",
         "resource_contention", "du_ping", "fanin_15",
+        "scaling_256_w1", "scaling_256_w2", "scaling_256_w4",
     } == set(PERF_REGISTRY)
     families = {spec.family for spec in PERF_REGISTRY.values()}
-    assert families == {"engine", "system"}
+    assert families == {"engine", "system", "scaling"}
     assert PERF_REGISTRY["du_ping"].family == "system"
+    assert PERF_REGISTRY["scaling_256_w4"].family == "scaling"
     with pytest.raises(ValueError, match="no_such_perf"):
         select_perf(names=["no_such_perf"])
 
@@ -272,12 +274,17 @@ def perf_doc():
 
 def test_run_perf_document_shape(perf_doc):
     assert perf_doc["kind"] == "perf"
-    assert perf_doc["schema"] == 1
+    assert perf_doc["schema"] == 2
     assert {"python", "implementation", "platform"} <= set(perf_doc["host"])
     ring = perf_doc["benchmarks"]["engine_ring"]
     assert ring["family"] == "engine"
     assert ring["events_per_sec"] > 0
     assert "packets_per_sec" not in ring
+    stats = ring["stats"]
+    assert stats["repeats"] == 1
+    assert len(stats["samples_events_per_sec"]) == 1
+    assert stats["ci95_lo"] <= ring["events_per_sec"] <= stats["ci95_hi"]
+    assert stats["min"] <= stats["mean"] <= stats["max"]
     ping = perf_doc["benchmarks"]["du_ping"]
     assert ping["family"] == "system"
     assert ping["packets_per_sec"] > 0
@@ -291,7 +298,7 @@ def test_perf_write_load_roundtrip_and_kind_guard(perf_doc, tmp_path):
     # the two regimes are never comparable.
     bench_path = tmp_path / "BENCH_t.json"
     bench_path.write_text(json.dumps({"schema": 1, "benchmarks": {}}))
-    with pytest.raises(ValueError, match="not a perf document"):
+    with pytest.raises(ValueError, match="not a readable perf document"):
         load_perf(str(bench_path))
 
 
@@ -315,6 +322,72 @@ def test_cli_perf_writes_perf_file_not_bench(tmp_path, capsys):
     # The host-dependent mode must never produce BENCH_* artifacts.
     assert not list(tmp_path.glob("BENCH_*"))
     assert f"wrote {out}" in capsys.readouterr().out
+
+
+def test_bootstrap_ci_is_deterministic_and_brackets_median():
+    from repro.bench import bootstrap_ci
+
+    samples = [100.0, 104.0, 98.0, 110.0, 102.0]
+    lo1, hi1 = bootstrap_ci(samples)
+    lo2, hi2 = bootstrap_ci(samples)
+    assert (lo1, hi1) == (lo2, hi2)
+    assert lo1 <= 102.0 <= hi1
+    assert min(samples) <= lo1 and hi1 <= max(samples)
+    # Single sample: the interval collapses to a point.
+    assert bootstrap_ci([7.0]) == (7.0, 7.0)
+    with pytest.raises(ValueError, match="no samples"):
+        bootstrap_ci([])
+
+
+def test_run_perf_kalibera_stats_across_repeats():
+    doc = run_perf("t", names=["engine_ring"], repeats=3, quick=True)
+    stats = doc["benchmarks"]["engine_ring"]["stats"]
+    assert stats["repeats"] == 3
+    assert len(stats["samples_events_per_sec"]) == 3
+    assert stats["min"] <= doc["benchmarks"]["engine_ring"]["events_per_sec"]
+    assert doc["benchmarks"]["engine_ring"]["events_per_sec"] <= stats["max"]
+    assert stats["ci95_lo"] <= stats["ci95_hi"]
+
+
+def test_run_perf_scaling_family_reports_speedup():
+    doc = run_perf(
+        "t", names=["scaling_256_w1", "scaling_256_w2"], repeats=1, quick=True
+    )
+    w1 = doc["benchmarks"]["scaling_256_w1"]
+    w2 = doc["benchmarks"]["scaling_256_w2"]
+    # The determinism contract: both worker counts simulate the same run.
+    assert w1["events"] == w2["events"]
+    assert w1["packets"] == w2["packets"]
+    assert "speedup_vs_w1" not in w1
+    assert w2["speedup_vs_w1"] == pytest.approx(
+        w2["events_per_sec"] / w1["events_per_sec"]
+    )
+    table = render_perf(doc)
+    assert "vs w1" in table and "(baseline)" in table
+
+
+def test_load_perf_accepts_schema1_documents(tmp_path):
+    legacy = {
+        "schema": 1,
+        "kind": "perf",
+        "label": "old",
+        "benchmarks": {
+            "engine_ring": {
+                "family": "engine",
+                "events": 10,
+                "elapsed_s": 0.1,
+                "events_per_sec": 100.0,
+            }
+        },
+        "host": {"python": "3", "implementation": "C", "platform": "x"},
+    }
+    path = tmp_path / "PERF_old.json"
+    path.write_text(json.dumps(legacy))
+    doc = load_perf(str(path))
+    # Schema-1 docs render (no CI column data) and compare against new docs.
+    assert "engine_ring" in render_perf(doc)
+    new = run_perf("new", names=["engine_ring"], repeats=1, quick=True)
+    assert "engine_ring" in render_perf_comparison(new, doc)
 
 
 def test_cli_perf_baseline_prints_speedup(tmp_path, capsys):

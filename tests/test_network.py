@@ -246,20 +246,20 @@ def test_backplane_statistics():
 
 
 def test_route_cache_matches_fresh_xy_route_for_all_pairs():
-    """Every cached route equals a freshly computed XY route (256 pairs)."""
+    """Every memoized route equals a freshly computed XY route (256 pairs)."""
     sim = Simulator()
     bp = Backplane(sim, DEFAULT_PARAMS)
     num_nodes = bp.num_nodes
     assert num_nodes == 16  # the default 4x4 mesh: 256 (src, dst) pairs
+    assert not bp._routes  # routes are built lazily, on first use
     fresh_topology = MeshTopology(
         DEFAULT_PARAMS.mesh_width, DEFAULT_PARAMS.mesh_height
     )
     for src in range(num_nodes):
         for dst in range(num_nodes):
             if src == dst:
-                assert (src, dst) not in bp._routes
                 continue
-            path, links, ejection, base_latency = bp._routes[(src, dst)]
+            path, links, ejection, base_latency = bp._route_for(src, dst)
             expected = fresh_topology.xy_route(src, dst)
             assert path == expected
             # The cached handles are the very Resource objects the link and
@@ -267,3 +267,20 @@ def test_route_cache_matches_fresh_xy_route_for_all_pairs():
             assert links == tuple(bp.link(link_id) for link_id in expected)
             assert ejection is bp._ejection[dst]
             assert base_latency == len(expected) * DEFAULT_PARAMS.router_hop_us
+            # Memoized: the second lookup returns the identical tuple.
+            assert bp._route_for(src, dst)[0] is path
+    # At 16 nodes the cap admits all pairs (the historical eager table).
+    assert len(bp._routes) == num_nodes * (num_nodes - 1)
+
+
+def test_backplane_route_cache_is_capped_on_large_meshes():
+    sim = Simulator()
+    params = DEFAULT_PARAMS.with_overrides(mesh_width=32, mesh_height=32)
+    bp = Backplane(sim, params)
+    assert bp._route_cap == 32 * 1024 < 1024 * 1023
+    # Past the cap, routes still resolve correctly — just unmemoized.
+    bp._route_cap = 4
+    for dst in range(1, 10):
+        path, _links, _ej, _lat = bp._route_for(0, dst)
+        assert len(path) == bp.topology.hop_count(0, dst)
+    assert len(bp._routes) == 4

@@ -1,0 +1,191 @@
+"""repro.shard: kernel ordering, partition plans, and the byte-identity
+contract between single-process and sharded execution."""
+
+import pytest
+
+from repro.shard import (
+    INJECT_SRC,
+    PartitionPlan,
+    ShardKernel,
+    ShardSpec,
+    plan_partitions,
+    run_serial,
+    run_sharded,
+    spec_for_nodes,
+)
+from repro.shard.__main__ import main as shard_main
+
+
+# -- kernel ----------------------------------------------------------------
+
+
+def test_kernel_executes_in_key_order_not_insertion_order():
+    seen = []
+    kernel = ShardKernel(lambda e: seen.append(e[:4]))
+    kernel.push((2.0, 0, 1, 0, None))
+    kernel.push((1.0, 5, 0, 0, None))
+    kernel.push((1.0, 2, 7, 1, None))
+    kernel.push((1.0, 2, 3, 9, None))
+    kernel.push((1.0, 2, INJECT_SRC, 0, None))
+    assert kernel.run_all() == 5
+    assert seen == [
+        (1.0, 2, INJECT_SRC, 0),  # injections sort before arrivals
+        (1.0, 2, 3, 9),
+        (1.0, 2, 7, 1),
+        (1.0, 5, 0, 0),
+        (2.0, 0, 1, 0),
+    ]
+    assert kernel.events_processed == 5
+
+
+def test_kernel_run_window_stops_at_boundary():
+    seen = []
+    kernel = ShardKernel(lambda e: seen.append(e[0]))
+    for t in (0.5, 1.0, 1.5, 2.0):
+        kernel.push((t, 0, 0, int(t * 2), None))
+    assert kernel.run_window(1.5) == 2  # strictly-less-than semantics
+    assert seen == [0.5, 1.0]
+    assert kernel.next_time() == 1.5
+    assert len(kernel) == 2
+
+
+# -- spec and partition plan ----------------------------------------------
+
+
+def test_spec_for_nodes_prefers_near_square():
+    assert (spec_for_nodes(64).width, spec_for_nodes(64).height) == (8, 8)
+    assert (spec_for_nodes(256).width, spec_for_nodes(256).height) == (16, 16)
+    assert (spec_for_nodes(48).width, spec_for_nodes(48).height) == (8, 6)
+    assert (spec_for_nodes(7).width, spec_for_nodes(7).height) == (7, 1)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="workload"):
+        ShardSpec(width=4, height=4, workload="nope")
+    with pytest.raises(ValueError, match="positive"):
+        ShardSpec(width=0, height=4)
+    spec = ShardSpec(width=4, height=4)
+    assert spec.lookahead_us == pytest.approx(
+        spec.hop_latency_us + spec.header_bytes / spec.link_bandwidth
+    )
+
+
+def test_plan_partitions_covers_every_node_in_contiguous_strips():
+    spec = ShardSpec(width=8, height=8)
+    plan = plan_partitions(spec, 4)
+    assert isinstance(plan, PartitionPlan)
+    assert plan.workers == 4
+    assert sorted(
+        node for part in range(4) for node in plan.owned_nodes(part)
+    ) == list(range(64))
+    # Column strips: a node's partition depends only on its x coordinate.
+    for node in range(64):
+        assert plan.part_of[node] == plan.part_of[node % 8]
+    # Boundary links only between adjacent strips.
+    for a, b in plan.boundary_links():
+        assert abs(plan.part_of[a] - plan.part_of[b]) == 1
+
+
+def test_plan_partitions_cuts_longer_axis_and_clamps():
+    tall = plan_partitions(ShardSpec(width=2, height=12), 3)
+    assert tall.axis == "y" and tall.workers == 3
+    clamped = plan_partitions(ShardSpec(width=4, height=2), 16)
+    assert clamped.workers == 4
+    assert plan_partitions(ShardSpec(width=4, height=4), 1).workers == 1
+
+
+# -- the determinism contract ---------------------------------------------
+
+
+def test_sharded_matches_serial_byte_for_byte_64_nodes():
+    """The PR's core gate: 64 nodes, serial vs 2 and 4 workers."""
+    spec = spec_for_nodes(64, duration_us=40.0)
+    serial = run_serial(spec)
+    assert serial.packets_delivered == serial.packets_injected > 0
+    reference = serial.telemetry_bytes()
+    for workers in (2, 4):
+        sharded = run_sharded(spec, workers)
+        assert sharded.workers == workers
+        assert sharded.telemetry_bytes() == reference
+        assert sharded.telemetry_digest() == serial.telemetry_digest()
+        assert sharded.events == serial.events
+        assert sharded.epochs > 0 and sharded.boundary_msgs > 0
+
+
+@pytest.mark.parametrize("pattern", ["transpose", "neighbor", "hotspot"])
+def test_sharded_matches_serial_across_patterns(pattern):
+    spec = spec_for_nodes(48, workload=pattern, duration_us=30.0)
+    serial = run_serial(spec)
+    sharded = run_sharded(spec, 3)
+    assert sharded.telemetry_bytes() == serial.telemetry_bytes()
+    assert serial.packets_delivered > 0
+
+
+def test_transpose_pattern_has_fixed_destinations():
+    spec = ShardSpec(width=4, height=2, workload="transpose", duration_us=10.0)
+    result = run_serial(spec)
+    # (x, y) -> index x*height + y: node 1 = (1,0) always sends to node 2.
+    for _t, node, src, _q, _it, _h in result.deliveries:
+        if src == 1:
+            assert node == 2
+
+
+def test_record_deliveries_off_keeps_counters_and_identity():
+    base = spec_for_nodes(16, duration_us=30.0)
+    slim = spec_for_nodes(16, duration_us=30.0, record_deliveries=False)
+    full, counters_only = run_serial(base), run_serial(slim)
+    assert counters_only.deliveries is None
+    assert counters_only.packets_delivered == full.packets_delivered
+    assert counters_only.events == full.events
+    assert counters_only.mean_latency_us == pytest.approx(full.mean_latency_us)
+    with pytest.raises(ValueError, match="record_deliveries"):
+        counters_only.latency_samples()
+    # The counters-only identity stream is still exact across workers.
+    assert run_sharded(slim, 2).telemetry_bytes() == counters_only.telemetry_bytes()
+
+
+def test_worker_count_is_not_part_of_identity():
+    spec = spec_for_nodes(32, duration_us=20.0)
+    a, b = run_serial(spec), run_sharded(spec, 2)
+    assert a.workers != b.workers
+    assert a.telemetry_lines()[0] == b.telemetry_lines()[0]
+    assert "workers" not in a.telemetry_lines()[0]
+
+
+def test_loopback_and_mean_hops_accounting():
+    spec = ShardSpec(width=1, height=1, duration_us=5.0)
+    result = run_serial(spec)
+    # A 1-node mesh can only loop back to itself; zero mesh hops.
+    assert result.packets_delivered == result.packets_injected > 0
+    assert result.mean_hops == 0.0
+    assert result.boundary_msgs == 0
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_verify_smoke(capsys):
+    rc = shard_main(
+        ["verify", "--nodes", "36", "--workers", "3", "--duration", "20"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "byte-identical across 1 and 3 workers" in out
+    assert "sha256" in out
+
+
+def test_cli_run_prints_summary_and_digest(capsys):
+    rc = shard_main(
+        ["run", "--width", "6", "--height", "3", "--duration", "15",
+         "--workload", "neighbor", "--digest"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "6x3 neighbor" in out and "telemetry sha256:" in out
+
+
+def test_cli_rejects_contradictory_mesh_arguments():
+    with pytest.raises(SystemExit):
+        shard_main(["run", "--width", "4"])
+    with pytest.raises(SystemExit):
+        shard_main(["run", "--nodes", "9", "--width", "4", "--height", "4"])

@@ -1,0 +1,148 @@
+"""Parametric-topology properties: non-square meshes, XY routing, caches."""
+
+import pytest
+
+from repro.hardware import DEFAULT_PARAMS
+from repro.network.topology import MeshTopology, route_cache_cap
+from repro.node import Machine
+
+
+@pytest.mark.parametrize(
+    "width,height", [(4, 4), (16, 4), (5, 3), (32, 8), (1, 7), (9, 1)]
+)
+def test_xy_route_length_is_manhattan_distance(width, height):
+    topo = MeshTopology(width, height)
+    probes = [
+        (0, topo.num_nodes - 1),
+        (topo.num_nodes - 1, 0),
+        (0, width - 1),
+        (0, (height - 1) * width),
+        (topo.num_nodes // 2, 0),
+    ]
+    for src, dst in probes:
+        sx, sy = topo.coords(src)
+        dx, dy = topo.coords(dst)
+        manhattan = abs(sx - dx) + abs(sy - dy)
+        path = topo.xy_route(src, dst)
+        assert len(path) == manhattan == topo.hop_count(src, dst)
+
+
+def test_xy_route_goes_x_first_then_y_and_is_contiguous():
+    topo = MeshTopology(6, 4)
+    src, dst = topo.node_at(1, 1), topo.node_at(4, 3)
+    path = topo.xy_route(src, dst)
+    # Contiguity: each link starts where the previous ended.
+    assert path[0][0] == src and path[-1][1] == dst
+    for (_, a_to), (b_from, _) in zip(path, path[1:]):
+        assert a_to == b_from
+    # Dimension order: all X moves strictly before any Y move.
+    moves = ["x" if topo.coords(a)[1] == topo.coords(b)[1] else "y"
+             for a, b in path]
+    assert moves == sorted(moves, key=lambda m: m != "x")
+    assert moves.count("x") == 3 and moves.count("y") == 2
+
+
+@pytest.mark.parametrize("width,height", [(4, 4), (16, 4), (5, 3)])
+def test_link_count_formula(width, height):
+    topo = MeshTopology(width, height)
+    # Directed links: 2 per undirected edge; a wxh grid has
+    # h*(w-1) horizontal + w*(h-1) vertical edges.
+    expected = 2 * (height * (width - 1) + width * (height - 1))
+    assert len(topo.links()) == expected
+
+
+def test_node_at_coords_roundtrip_non_square():
+    topo = MeshTopology(7, 3)
+    for node in range(topo.num_nodes):
+        assert topo.node_at(*topo.coords(node)) == node
+    with pytest.raises(ValueError):
+        topo.coords(topo.num_nodes)
+    with pytest.raises(ValueError):
+        topo.node_at(7, 0)
+
+
+def test_next_hop_matches_first_route_link():
+    topo = MeshTopology(8, 8)
+    for src, dst in [(0, 63), (63, 0), (5, 5 + 8), (9, 14), (30, 2)]:
+        assert topo.next_hop(src, dst) == topo.xy_route(src, dst)[0][1]
+    with pytest.raises(ValueError):
+        topo.next_hop(3, 3)
+
+
+def test_route_cache_cap_scales_with_topology():
+    # All pairs at the paper scale (the historical eager table size)...
+    assert route_cache_cap(16) == 256
+    assert route_cache_cap(64) == 4096
+    # ...but bounded far below all-pairs at cabinet scale.
+    assert route_cache_cap(1024) == 32 * 1024 < 1024 * 1024
+
+
+def test_topology_memo_respects_cap():
+    topo = MeshTopology(32, 32)
+    cap = route_cache_cap(topo.num_nodes)
+    for src in range(40):
+        for dst in range(1000):
+            if src != dst:
+                topo.xy_route(src, dst)
+                topo.hop_count(src, dst)
+    assert len(topo._route_cache) <= cap
+    assert len(topo._hop_cache) <= cap
+    # Cached and uncached answers agree past the cap.
+    assert len(topo.xy_route(39, 999)) == topo.hop_count(39, 999)
+
+
+def test_machine_explicit_width_height():
+    machine = Machine(width=16, height=4)
+    assert machine.num_nodes == 64
+    assert machine.params.mesh_width == 16
+    assert machine.params.mesh_height == 4
+    assert machine.backplane.topology.width == 16
+
+
+def test_machine_default_fills_params_mesh():
+    assert Machine().num_nodes == 16
+    params = DEFAULT_PARAMS.with_overrides(mesh_width=3, mesh_height=2)
+    assert Machine(params=params).num_nodes == 6
+
+
+def test_machine_rejects_bad_mesh_arguments():
+    with pytest.raises(ValueError, match="given together"):
+        Machine(width=4)
+    with pytest.raises(ValueError, match="do not fit"):
+        Machine(num_nodes=20, width=4, height=4)
+    with pytest.raises(ValueError, match="positive"):
+        Machine(width=0, height=4)
+
+
+def test_machine_widens_mesh_for_large_num_nodes():
+    machine = Machine(num_nodes=64)
+    params = machine.params
+    assert params.mesh_width * params.mesh_height >= 64
+    assert len(machine.nodes) == 64
+
+
+def test_large_machine_sends_across_non_square_mesh():
+    """End-to-end: a 16x4 machine carries a packet corner to corner."""
+    from repro.vmmc import VMMCRuntime
+
+    machine = Machine(width=16, height=4)
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(63))
+    done = []
+
+    def rx():
+        buffer = yield from receiver.export(256, name="corner")
+        yield from receiver.wait_bytes(buffer, 256)
+        done.append(machine.now)
+
+    def tx():
+        endpoint = vmmc.endpoint(machine.create_process(0))
+        imported = yield from endpoint.import_buffer("corner")
+        src = endpoint.alloc(256)
+        yield from endpoint.send(imported, src, 256, sync_delivered=True)
+
+    machine.sim.spawn(rx(), "rx")
+    machine.sim.spawn(tx(), "tx")
+    machine.sim.run()
+    assert done and done[0] > 0
+    assert machine.backplane.packets_delivered >= 1
