@@ -25,6 +25,7 @@ from .hardware import DEFAULT_PARAMS, MachineParams
 from .monitor import HealthMonitor, MonitorConfig, Postmortem
 from .nic import DEFAULT_NIC_CONFIG, NICConfig
 from .node import Machine, Node, NodeProcess
+from .obs import MetricsRegistry, ObsConfig, SamplingProfiler
 from .serve import ServeCluster, ServeConfig, SloReport
 from .shard import ShardSpec, run_serial, run_sharded, spec_for_nodes
 from .sim import Simulator, Timeout
@@ -37,7 +38,7 @@ from .vmmc import (
     VMMCRuntime,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Machine",
@@ -64,7 +65,10 @@ __all__ = [
     "DeliveryFailed",
     "HealthMonitor",
     "MonitorConfig",
+    "MetricsRegistry",
+    "ObsConfig",
     "Postmortem",
+    "SamplingProfiler",
     "ServeCluster",
     "ServeConfig",
     "SloReport",

@@ -12,7 +12,8 @@ Commands (all take ``--store DIR``, default ``runs``):
 * ``attr-diff BASE NEW`` — the attribution-shift table: which component
   the microseconds (and share points) moved to;
 * ``trend --workload W --x nodes`` — median-vs-x textual figure over
-  the store's history of one workload;
+  the store's history of one workload, with ``--json`` for the
+  machine-readable series document;
 * ``drill REF`` — resolve a record to its Chrome trace / postmortem /
   report sidecars on disk.
 
@@ -35,6 +36,7 @@ from .core import (
     drill,
     list_table,
     show_record,
+    trend_rows,
     trend_table,
 )
 
@@ -94,6 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--filter", action="append", default=[], metavar="K=V",
         help="only records whose spec matches (repeatable)",
     )
+    trend.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="also write the trend series as machine-readable JSON",
+    )
 
     drill_cmd = commands.add_parser(
         "drill", help="resolve a record to its trace/postmortem artifacts"
@@ -138,6 +144,18 @@ def main(argv=None) -> int:
                     raise ValueError(f"bad --filter {clause!r} (want K=V)")
                 filters[key] = value
             print(trend_table(store, args.workload, x=args.x, filters=filters))
+            if args.json_out:
+                from ..telemetry.export import ensure_parent_dir
+
+                doc = trend_rows(
+                    store, args.workload, x=args.x, filters=filters
+                )
+                with open(
+                    ensure_parent_dir(args.json_out), "w", encoding="utf-8"
+                ) as fh:
+                    json.dump(doc, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"\nwrote {args.json_out}")
         elif args.command == "drill":
             print(drill(store, args.ref))
     except ValueError as exc:

@@ -37,6 +37,7 @@ __all__ = [
     "show_record",
     "compare_refs",
     "attr_diff",
+    "trend_rows",
     "trend_table",
     "drill",
 ]
@@ -375,19 +376,22 @@ def attr_diff(store: RunStore, base_ref: str, new_ref: str) -> str:
 _SPEC_AXES = ("workload", "platform", "fault_plan", "nodes", "seed")
 
 
-def trend_table(
+def trend_rows(
     store: RunStore,
     workload: str,
     x: str = "nodes",
     filters: Optional[Dict[str, str]] = None,
-) -> str:
-    """Median-vs-``x`` series for one workload, split by leftover knobs.
+) -> Dict:
+    """Median-vs-``x`` series for one workload, as a machine-readable doc.
 
     Every valid record of ``workload`` passing ``filters`` contributes a
     point; records are grouped into one series per distinct combination
     of the remaining knobs (params, platform, fault plan), which is how
-    a ``mode=nx`` vs ``mode=tree-nic`` scaling sweep becomes two columns
-    of the same textual figure.
+    a ``mode=nx`` vs ``mode=tree-nic`` scaling sweep becomes two series
+    of the same figure.  Returns ``{"workload", "x", "unit", "series":
+    {label: [[x_value, median], ...]}}`` — the shape behind both the
+    textual figure (:func:`trend_table`) and the HTML renderer's trend
+    charts, and what ``repro.explore trend --json`` writes.
     """
     filters = filters or {}
     series: Dict[str, List[Tuple[object, float]]] = {}
@@ -425,8 +429,31 @@ def trend_table(
         )
     for points in series.values():
         points.sort(key=lambda point: (str(point[0]), point[1]))
+    return {
+        "workload": workload,
+        "x": x,
+        "unit": unit,
+        "series": {
+            label: [[x_value, median] for x_value, median in points]
+            for label, points in series.items()
+        },
+    }
+
+
+def trend_table(
+    store: RunStore,
+    workload: str,
+    x: str = "nodes",
+    filters: Optional[Dict[str, str]] = None,
+) -> str:
+    """The textual figure over :func:`trend_rows` (same grouping rules)."""
+    doc = trend_rows(store, workload, x=x, filters=filters)
+    series = {
+        label: [(x_value, median) for x_value, median in points]
+        for label, points in doc["series"].items()
+    }
     return format_series(
-        f"Trend: {workload} median ({unit}) vs {x}", x, series
+        f"Trend: {workload} median ({doc['unit']}) vs {x}", x, series
     )
 
 

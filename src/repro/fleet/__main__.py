@@ -57,6 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "as study:<family> specs (use - for stdin, so the two CLIs "
         "compose as a pipe)",
     )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="print per-spec start/finish heartbeats with a fleet ETA "
+        "to stderr (records are unaffected: they carry no wall clock)",
+    )
 
     lst = commands.add_parser(
         "list", help="expand a catalog and print specs + fingerprints"
@@ -93,12 +98,19 @@ def _catalog(args) -> Catalog:
 def _cmd_run(args) -> int:
     catalog = _catalog(args)
     store = RunStore(args.store)
+    progress = None
+    if args.progress:
+        from ..obs.progress import FleetTicker
+
+        unique = len({spec.fingerprint for spec in catalog.specs})
+        progress = FleetTicker(total=unique)
     outcomes = run_specs(
         catalog.specs,
         store,
         workers=max(1, args.workers),
         force=args.force,
         log=print,
+        progress=progress,
     )
     hits = sum(1 for outcome in outcomes if outcome.cached)
     errors = [outcome for outcome in outcomes if outcome.status == "error"]

@@ -119,15 +119,56 @@ def execute_spec(spec: ExperimentSpec, store: RunStore) -> str:
     return store.put(record, sidecars)
 
 
-def _pool_worker(args: Tuple[dict, str]) -> Tuple[str, Optional[str]]:
-    """Module-level so it pickles under both fork and spawn starts."""
-    spec_doc, root = args
+def _pool_worker(args: Tuple[dict, str, object]) -> Tuple[str, Optional[str]]:
+    """Module-level so it pickles under both fork and spawn starts.
+
+    ``heartbeats`` (a manager queue, or None) is the fleet's progress
+    side-channel: ``("start", fingerprint)`` before the workload runs,
+    ``("done", fingerprint, ok)`` after.  Run records never contain
+    wall-clock fields, so the heartbeat traffic cannot change a stored
+    byte — it only feeds the master's ticker.
+    """
+    spec_doc, root, heartbeats = args
     spec = ExperimentSpec.from_json(spec_doc)
+    if heartbeats is not None:
+        heartbeats.put(("start", spec.fingerprint))
     try:
         execute_spec(spec, RunStore(root))
-        return spec.fingerprint, None
+        outcome = (spec.fingerprint, None)
     except Exception:  # noqa: BLE001 - reported per-spec by the caller
-        return spec.fingerprint, traceback.format_exc()
+        outcome = (spec.fingerprint, traceback.format_exc())
+    if heartbeats is not None:
+        heartbeats.put(("done", spec.fingerprint, outcome[1] is None))
+    return outcome
+
+
+def _drain_heartbeats(
+    heartbeats, progress, described: Dict[str, str],
+    statuses_at_send: Dict[str, str], wait_s: float = 0.0,
+) -> None:
+    """Forward queued worker heartbeats to the progress callback."""
+    import queue as _queue
+
+    while True:
+        try:
+            if wait_s > 0.0:
+                event = heartbeats.get(timeout=wait_s)
+            else:
+                event = heartbeats.get_nowait()
+        except _queue.Empty:
+            return
+        if event[0] == "start":
+            fingerprint = event[1]
+            progress(("start", fingerprint, described.get(fingerprint, "")))
+        else:
+            fingerprint, ok = event[1], event[2]
+            if not ok:
+                status = "error"
+            elif statuses_at_send.get(fingerprint) == "invalid":
+                status = "reran"
+            else:
+                status = "ran"
+            progress(("done", fingerprint, status))
 
 
 def run_specs(
@@ -136,6 +177,7 @@ def run_specs(
     workers: int = 1,
     force: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[Tuple], None]] = None,
 ) -> List[RunOutcome]:
     """Run a catalog's specs against the store; returns one outcome each.
 
@@ -143,6 +185,13 @@ def run_specs(
     cached records are served without executing anything unless
     ``force``; invalid records are replaced.  Outcomes preserve the
     input order of the surviving specs.
+
+    ``progress``, when given, receives live ``("start", fingerprint,
+    description)`` and ``("done", fingerprint, status)`` events — for
+    cache hits a lone ``done``/``"cached"`` — from the inline runner
+    directly, or relayed off a manager heartbeat queue the pool workers
+    feed.  The queue exists only when ``progress`` is set, so the
+    default pool path is untouched.
     """
 
     def note(line: str) -> None:
@@ -163,26 +212,70 @@ def run_specs(
         if status == "hit" and not force:
             statuses[spec.fingerprint] = "cached"
             note(f"{spec.fingerprint}  cached  {spec.describe()}")
+            if progress is not None:
+                progress(("done", spec.fingerprint, "cached"))
         else:
             pending.append((spec, status))
 
     errors: Dict[str, str] = {}
     if pending:
         if workers > 1:
-            args = [(spec.to_json(), store.root) for spec, _status in pending]
             context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                for fingerprint, error in pool.imap_unordered(
-                    _pool_worker, args
-                ):
-                    if error is not None:
-                        errors[fingerprint] = error
+            manager = None
+            heartbeats = None
+            if progress is not None:
+                manager = context.Manager()
+                heartbeats = manager.Queue()
+            args = [
+                (spec.to_json(), store.root, heartbeats)
+                for spec, _status in pending
+            ]
+            try:
+                with context.Pool(processes=workers) as pool:
+                    if heartbeats is None:
+                        for fingerprint, error in pool.imap_unordered(
+                            _pool_worker, args
+                        ):
+                            if error is not None:
+                                errors[fingerprint] = error
+                    else:
+                        described = {
+                            spec.fingerprint: spec.describe()
+                            for spec, _status in pending
+                        }
+                        at_send = {
+                            spec.fingerprint: status
+                            for spec, status in pending
+                        }
+                        result = pool.map_async(_pool_worker, args)
+                        while not result.ready():
+                            _drain_heartbeats(
+                                heartbeats, progress, described,
+                                at_send, wait_s=0.2,
+                            )
+                        _drain_heartbeats(
+                            heartbeats, progress, described, at_send
+                        )
+                        for fingerprint, error in result.get():
+                            if error is not None:
+                                errors[fingerprint] = error
+            finally:
+                if manager is not None:
+                    manager.shutdown()
         else:
-            for spec, _status in pending:
+            for spec, status in pending:
+                if progress is not None:
+                    progress(("start", spec.fingerprint, spec.describe()))
                 try:
                     execute_spec(spec, store)
                 except Exception:  # noqa: BLE001 - reported per-spec
                     errors[spec.fingerprint] = traceback.format_exc()
+                if progress is not None:
+                    if spec.fingerprint in errors:
+                        done = "error"
+                    else:
+                        done = "reran" if status == "invalid" else "ran"
+                    progress(("done", spec.fingerprint, done))
         for spec, status in pending:
             if spec.fingerprint in errors:
                 statuses[spec.fingerprint] = "error"

@@ -121,15 +121,20 @@ class Machine:
         #: The installed health monitor (None: no monitoring, zero
         #: overhead — one predicate check per hook site).
         self.monitor = None
+        #: The installed live-metrics registry (None: no sampling, zero
+        #: overhead — one predicate check on the run loop's heap branch).
+        self.obs = None
         self._started = False
 
-    def enable_telemetry(self, limit: int = 1_000_000):
+    def enable_telemetry(self, limit: int = 1_000_000, timeline_cap=None):
         """Install (or return) the machine's telemetry collector.
 
         Arms every instrumented layer: spans, histograms and utilization
         timelines start recording against virtual time.  Recording never
         consumes virtual time, so enabling telemetry does not change what
         the simulated machine does — only what is observed about it.
+        ``timeline_cap`` bounds per-timeline point retention (even,
+        >= 8; None keeps every point — the historical default).
         """
         if self.telemetry is None:
             from ..telemetry import Telemetry
@@ -138,6 +143,7 @@ class Machine:
                 lambda: self.sim.now,
                 limit=limit,
                 current_process=lambda: self.sim.current,
+                timeline_cap=timeline_cap,
             )
             self.stats.telemetry = self.telemetry
             self.sim.telemetry = self.telemetry
@@ -160,6 +166,25 @@ class Machine:
 
             self.monitor = HealthMonitor(self, config)
         return self.monitor
+
+    def enable_obs(self, config=None):
+        """Install (or return) the machine's live-metrics registry.
+
+        Arms the virtual-time sampling cadence (DESIGN.md section 17):
+        read-only probes over state the machine already maintains are
+        sampled into bounded ring-buffered series from the run loop's
+        heap branch.  Like the monitor, the registry only observes — it
+        consumes no virtual time, schedules nothing and draws no
+        sequence numbers, so arming it cannot change what the simulated
+        machine does.  Install before the first ``sim.run()`` (the run
+        loop hoists the handle).  ``config`` applies only on first call.
+        """
+        if self.obs is None:
+            from ..obs import MetricsRegistry
+
+            self.obs = MetricsRegistry(self, config)
+            self.sim.obs = self.obs
+        return self.obs
 
     def install_fault_plan(self, plan) -> None:
         """Bind ``plan`` to this machine and arm every injection site."""

@@ -1,0 +1,249 @@
+"""The obs CLI: ``python -m repro.obs scrape|html|profile``.
+
+* ``scrape`` — run a built-in workload with live metrics armed and print
+  the Prometheus-style exposition of the final sample; ``--jsonl`` streams
+  every sample tick, ``--series-out`` writes the retained history as JSON
+  (both feed ``html``)::
+
+      python -m repro.obs scrape --workload serve-chaos --jsonl obs.jsonl
+
+* ``html`` — render a run store, BENCH/PERF document, metrics export or
+  text report into one self-contained HTML page::
+
+      python -m repro.obs html runs --out report.html
+
+* ``profile`` — run a ``repro.bench perf`` workload under the sampling
+  profiler and print the component-attributed wall-clock table::
+
+      python -m repro.obs profile --bench du_ping --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .metrics import ObsConfig
+from .profile import SamplingProfiler
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Live metrics, wall-clock profiling, HTML evidence.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    scrape = commands.add_parser(
+        "scrape", help="run a workload with metrics on; print the exposition"
+    )
+    scrape.add_argument(
+        "--workload", choices=("seed", "serve-chaos"), default="seed",
+        help="seed: a 4-node VMMC stream; serve-chaos: a small serving "
+        "tier through a permanent link outage (default: seed)",
+    )
+    scrape.add_argument(
+        "--cadence-us", type=float, default=50.0,
+        help="virtual microseconds between samples (default: 50)",
+    )
+    scrape.add_argument(
+        "--cap", type=int, default=512,
+        help="retained points per series before decimation (default: 512)",
+    )
+    scrape.add_argument("--ops", type=int, default=400,
+                        help="seed workload: sends to stream (default: 400)")
+    scrape.add_argument("--seed", type=int, default=1998)
+    scrape.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="stream one JSON object per sample tick to FILE",
+    )
+    scrape.add_argument(
+        "--series-out", default=None, metavar="FILE",
+        help="write the retained series history as JSON to FILE",
+    )
+
+    html = commands.add_parser(
+        "html", help="render evidence into one self-contained HTML page"
+    )
+    html.add_argument(
+        "target",
+        help="runs-dir, BENCH_*/PERF_* json, obs series json/jsonl, "
+        "or a text report",
+    )
+    html.add_argument(
+        "--out", default="report.html", metavar="FILE",
+        help="output path (default: report.html)",
+    )
+
+    profile = commands.add_parser(
+        "profile", help="wall-clock component attribution of a perf workload"
+    )
+    profile.add_argument(
+        "--bench", default="du_ping",
+        help="repro.bench perf benchmark to profile (default: du_ping)",
+    )
+    profile.add_argument(
+        "--scale", type=int, default=None,
+        help="operation count (default: the benchmark's full scale)",
+    )
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="use the benchmark's CI-sized quick scale",
+    )
+    profile.add_argument(
+        "--interval-ms", type=float, default=2.0,
+        help="sampling interval, host milliseconds (default: 2.0)",
+    )
+    return parser
+
+
+# -- scrape workloads ---------------------------------------------------
+
+
+def _scrape_seed(args, config: ObsConfig):
+    """A 4-node VMMC DU stream with metrics armed (the seed shape)."""
+    from ..node import Machine
+    from ..vmmc import VMMCRuntime
+
+    machine = Machine(num_nodes=4, seed=args.seed)
+    obs = machine.enable_obs(config)
+    vmmc = VMMCRuntime(machine)
+    receiver = vmmc.endpoint(machine.create_process(0))
+    nbytes = 1024
+    payload = (bytes(range(256)) * 4)[:nbytes]
+    senders = machine.num_nodes - 1
+    per_sender = max(1, args.ops // senders)
+
+    def rx():
+        buffers = []
+        for s in range(senders):
+            buffer = yield from receiver.export(nbytes, name=f"obs.{s}")
+            buffers.append(buffer)
+        for buffer in buffers:
+            yield from receiver.wait_bytes(buffer, nbytes * per_sender)
+
+    def tx(s: int):
+        endpoint = vmmc.endpoint(machine.create_process(s + 1))
+        imported = yield from endpoint.import_buffer(f"obs.{s}")
+        src = endpoint.alloc(nbytes)
+        endpoint.poke(src, payload)
+        for _ in range(per_sender):
+            yield from endpoint.send(imported, src, nbytes, sync_delivered=True)
+
+    machine.sim.spawn(rx(), "obs.rx")
+    for s in range(senders):
+        machine.sim.spawn(tx(s), f"obs.tx{s}")
+    machine.sim.run()
+    return obs
+
+
+def _scrape_serve_chaos(args, config: ObsConfig):
+    """A small serving tier through a permanent link outage, metrics on."""
+    from ..node import Machine
+    from ..serve import ServeCluster, ServeConfig
+    from ..serve.chaos import make_chaos
+
+    serve_config = ServeConfig(
+        num_shards=2,
+        num_aggregates=2,
+        balancer="hash",
+        arrivals="poisson",
+        offered_rps=25_000.0,
+        duration_us=4_000.0,
+        slo_timeout_us=1_000.0,
+        retx_timeout_us=200.0,
+        retx_max_retries=2,
+    )
+    machine = Machine(num_nodes=serve_config.num_nodes, seed=args.seed)
+    obs = machine.enable_obs(config)
+    cluster = ServeCluster(serve_config, seed=args.seed, machine=machine)
+    cluster.setup()
+    chaos = make_chaos("link-outage", at_us=1_000.0, duration_us=None)
+    chaos.apply(cluster)
+    print(f"# chaos: {chaos.describe(cluster)}", file=sys.stderr)
+    report = cluster.run()
+    print(
+        f"# serve: ok={report.overall.ok} late={report.overall.late} "
+        f"failed={report.overall.failed}",
+        file=sys.stderr,
+    )
+    return obs
+
+
+def _cmd_scrape(args) -> int:
+    config = ObsConfig(
+        cadence_us=args.cadence_us, cap=args.cap, jsonl_path=args.jsonl
+    )
+    if args.workload == "serve-chaos":
+        obs = _scrape_serve_chaos(args, config)
+    else:
+        obs = _scrape_seed(args, config)
+    # One final sample at the drained clock, so the exposition reflects
+    # the end state even if the last event fell between cadence marks.
+    obs.sample_now()
+    obs.close()
+    sys.stdout.write(obs.scrape())
+    if args.series_out:
+        import json
+
+        from ..telemetry.export import ensure_parent_dir
+
+        with open(
+            ensure_parent_dir(args.series_out), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(obs.series_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"# series written to {args.series_out}", file=sys.stderr)
+    if args.jsonl:
+        print(f"# jsonl stream written to {args.jsonl}", file=sys.stderr)
+    return 0
+
+
+def _cmd_html(args) -> int:
+    from ..telemetry.export import ensure_parent_dir
+    from .html import render_target
+
+    kind, page = render_target(args.target)
+    with open(ensure_parent_dir(args.out), "w", encoding="utf-8") as fh:
+        fh.write(page)
+    print(f"rendered {kind} evidence: {args.target} -> {args.out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from ..bench.perf import PERF_REGISTRY
+
+    spec = PERF_REGISTRY.get(args.bench)
+    if spec is None:
+        print(
+            f"error: unknown perf benchmark {args.bench!r} "
+            f"(choose from {', '.join(sorted(PERF_REGISTRY))})",
+            file=sys.stderr,
+        )
+        return 2
+    scale = args.scale
+    if scale is None:
+        scale = spec.quick_scale if args.quick else spec.scale
+    profiler = SamplingProfiler(interval_s=args.interval_ms / 1000.0)
+    with profiler:
+        result = spec.runner(scale)
+    print(
+        f"{spec.name} scale={scale}: {result.events} events in "
+        f"{result.elapsed_s:.3f}s ({result.events_per_sec:,.0f} ev/s)"
+    )
+    print()
+    print(profiler.report(f"Wall-clock attribution: {spec.name}"))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "scrape":
+        return _cmd_scrape(args)
+    if args.command == "html":
+        return _cmd_html(args)
+    return _cmd_profile(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -249,6 +249,11 @@ class ServeCluster:
         if not self._shard_eps:
             self.setup()
         cfg = self.config
+        obs = self.machine.obs
+        if obs is not None:
+            # Live-metrics probes over the tier's existing load/SLO state
+            # (read-only; the registry samples them on its own cadence).
+            obs.register_serve(self)
         tel = self.machine.stats.telemetry
         if tel is not None:
             # An instant is never a *completed span*, so request spans

@@ -86,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--digest", action="store_true",
         help="also print the telemetry stream's sha256",
     )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="print a per-epoch progress/ETA ticker to stderr "
+        "(sharded runs only; off the identity stream by construction)",
+    )
 
     verify = commands.add_parser(
         "verify",
@@ -116,8 +121,15 @@ def _cmd_run(args) -> int:
     spec = _spec_from(args)
     plan = plan_partitions(spec, args.workers)
     print(f"partitioning: {plan.describe()}")
+    progress = None
+    if getattr(args, "progress", False) and args.workers > 1:
+        from ..obs.progress import ShardProgressTicker
+
+        progress = ShardProgressTicker()
     result = (
-        run_sharded(spec, args.workers) if args.workers > 1 else run_serial(spec)
+        run_sharded(spec, args.workers, progress=progress)
+        if args.workers > 1
+        else run_serial(spec)
     )
     print(result.summary())
     if args.digest:

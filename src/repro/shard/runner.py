@@ -203,21 +203,49 @@ def run_serial(spec: ShardSpec) -> ShardRunResult:
 
 
 def _worker_main(conn, spec: ShardSpec, me: int, workers: int) -> None:
-    """One strip's process: build, then serve epoch requests until fin."""
+    """One strip's process: build, then serve epoch requests until fin.
+
+    When the master's ``win`` message carries the want-progress flag, the
+    ``done`` reply grows a cumulative ``(events, busy_s, stall_s)`` tail:
+    wall time inside ``run_window`` vs wall time spent waiting for the
+    next window (the lookahead stall).  This is an observational
+    side-channel only — nothing in it feeds ``node_stats`` or
+    ``deliveries``, the sole inputs of the identity stream — and without
+    the flag the message shapes are exactly the classic protocol.
+    """
     plan = plan_partitions(spec, workers)
     sim = PartitionSim(spec, me, plan.part_of)
     sim.seed_injections()
     conn.send(("ready", sim.kernel.next_time()))
+    busy_s = 0.0
+    stall_s = 0.0
+    last_reply = _time.perf_counter()
     while True:
         message = conn.recv()
         if message[0] == "win":
+            received = _time.perf_counter()
             _start, end, incoming = message[1], message[2], message[3]
+            want_progress = len(message) > 4 and message[4]
             sim.insert(incoming)
             sim.kernel.run_window(end)
             grouped: Dict[int, List] = {}
             for part, event in sim.take_outbound():
                 grouped.setdefault(part, []).append(event)
-            conn.send(("done", sim.kernel.next_time(), grouped))
+            if want_progress:
+                replied = _time.perf_counter()
+                stall_s += received - last_reply
+                busy_s += replied - received
+                last_reply = replied
+                conn.send(
+                    (
+                        "done",
+                        sim.kernel.next_time(),
+                        grouped,
+                        (sim.kernel.events_processed, busy_s, stall_s),
+                    )
+                )
+            else:
+                conn.send(("done", sim.kernel.next_time(), grouped))
         else:  # "fin"
             conn.send(
                 (
@@ -241,10 +269,20 @@ def _context():
 
 
 def run_sharded(
-    spec: ShardSpec, workers: int, ctx=None
+    spec: ShardSpec, workers: int, ctx=None, progress=None
 ) -> ShardRunResult:
     """Run ``spec`` across ``workers`` strip processes (clamped to the
-    cut-axis length); byte-identical to :func:`run_serial` by contract."""
+    cut-axis length); byte-identical to :func:`run_serial` by contract.
+
+    ``progress``, when given, is called once per epoch with an
+    :class:`repro.obs.EpochProgress` snapshot (window bounds, boundary
+    backlog, cumulative events, per-worker busy/stall wall time).  The
+    snapshot is assembled from the side-channel tail of the ``done``
+    replies, which carries no simulation state — ``telemetry_digest()``
+    is a function of the spec header, deliveries and node stats alone,
+    so a progress-on run is byte-identical to a progress-off run.
+    Ignored on the single-worker (serial) path.
+    """
     plan = plan_partitions(spec, workers)
     if plan.workers == 1:
         return run_serial(spec)
@@ -273,6 +311,10 @@ def run_sharded(
             next_times.append(next_time)
         pending: List[List] = [[] for _ in range(plan.workers)]
         epochs = 0
+        want_progress = progress is not None
+        worker_progress: List[Tuple[int, float, float]] = [
+            (0, 0.0, 0.0) for _ in range(plan.workers)
+        ]
         while True:
             horizon = [t for t in next_times if t is not None]
             horizon.extend(
@@ -282,15 +324,38 @@ def run_sharded(
                 break
             window_start = min(horizon)
             window_end = window_start + lookahead
+            backlog = sum(len(events) for events in pending)
             for part, conn in enumerate(conns):
-                conn.send(("win", window_start, window_end, pending[part]))
+                if want_progress:
+                    conn.send(
+                        ("win", window_start, window_end, pending[part], True)
+                    )
+                else:
+                    conn.send(("win", window_start, window_end, pending[part]))
                 pending[part] = []
             for part, conn in enumerate(conns):
-                _tag, next_time, grouped = conn.recv()
-                next_times[part] = next_time
-                for dest, events in grouped.items():
+                reply = conn.recv()
+                next_times[part] = reply[1]
+                for dest, events in reply[2].items():
                     pending[dest].extend(events)
+                if want_progress:
+                    worker_progress[part] = reply[3]
             epochs += 1
+            if want_progress:
+                from ..obs.progress import EpochProgress
+
+                progress(
+                    EpochProgress(
+                        epoch=epochs,
+                        window_start=window_start,
+                        window_end=window_end,
+                        duration_us=spec.duration_us,
+                        boundary_backlog=backlog,
+                        events=sum(p[0] for p in worker_progress),
+                        wall_s=_time.perf_counter() - start_wall,
+                        workers=list(worker_progress),
+                    )
+                )
         node_stats: Dict[int, List[float]] = {}
         deliveries: Optional[List[Tuple]] = (
             [] if spec.record_deliveries else None

@@ -295,6 +295,10 @@ class Simulator:
         #: the run loop's heap branch and per 16 K immediate dispatches.
         #: Must be installed before ``run`` is entered (the loop hoists it).
         self.monitor = None
+        #: Installed by Machine.enable_obs; None costs one predicate on the
+        #: heap branch.  Like the monitor, a pure observer hoisted by the
+        #: run loop: install before ``run`` is entered.
+        self.obs = None
         #: Every spawned process, pruned of finished ones as it grows; the
         #: registry is what lets deadlock reports and the health monitor
         #: enumerate still-blocked processes.
@@ -437,9 +441,11 @@ class Simulator:
         pop = heapq.heappop
         popleft = immediate.popleft
         seq_counter = self._seq
-        # Health monitor, hoisted like the queues: None costs one local
-        # check on the heap branch and one per 16 K immediate dispatches.
+        # Health monitor and metrics registry, hoisted like the queues:
+        # None costs one local check on the heap branch (and, for the
+        # monitor, one per 16 K immediate dispatches).
         monitor = self.monitor
+        obs = self.obs
         dispatched = 0
         # Local mirror of the clock: only this loop ever writes ``self.now``,
         # so the mirror is kept exact by updating both together.
@@ -530,6 +536,10 @@ class Simulator:
                     # Virtual-time watchdog tick: stall scans and sampled
                     # invariant checks run here, outside virtual time.
                     monitor._time_tick(time, dispatched)
+                if obs is not None and time >= obs._next_sample:
+                    # Metrics cadence tick: read-only probes sampled here,
+                    # outside virtual time, never touching the queues.
+                    obs._sample_tick(time)
                 if fn is not None:
                     fn()
                     continue

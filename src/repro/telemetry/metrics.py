@@ -205,22 +205,36 @@ class TailHistogram:
 
 
 class Gauge:
-    """A last-value metric that remembers its extremes."""
+    """A last-value metric that remembers its extremes.
 
-    __slots__ = ("name", "value", "min", "max", "updates")
+    By default only the scalar summary (value, min, max, update count) is
+    kept — O(1) regardless of update rate.  ``history=N`` additionally
+    retains the last ``N`` set values in a bounded deque, for callers
+    that want a recent-window view without unbounded growth.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "min", "max", "updates", "history")
+
+    def __init__(self, name: str, history: int = 0):
         self.name = name
         self.value = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.updates = 0
+        if history > 0:
+            from collections import deque
+
+            self.history: Optional[deque] = deque(maxlen=history)
+        else:
+            self.history = None
 
     def set(self, value: float) -> None:
         self.value = value
         self.updates += 1
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if self.history is not None:
+            self.history.append(value)
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -234,13 +248,25 @@ class Timeline:
     (0/1), FIFO fill bytes, CPU busy depth.  Queries integrate the step
     function, so ``busy_fraction`` is an exact utilization over a window,
     not an average of samples.
+
+    By default every recorded point is kept — exact, but unbounded on
+    long runs.  ``cap=N`` (even, >= 8) bounds retention: when the buffer
+    reaches ``N`` points it is halved by dropping every other interior
+    point, always preserving the first and the current last point, so
+    ``last_value`` stays exact while the interior becomes progressively
+    coarser.  Integrals over a decimated timeline are approximations;
+    the default (``cap=None``) is byte-identical to the historical
+    behavior.
     """
 
-    __slots__ = ("name", "node", "points")
+    __slots__ = ("name", "node", "points", "cap")
 
-    def __init__(self, name: str, node: int = 0):
+    def __init__(self, name: str, node: int = 0, cap: Optional[int] = None):
+        if cap is not None and (cap < 8 or cap % 2):
+            raise ValueError(f"timeline cap must be even and >= 8, got {cap}")
         self.name = name
         self.node = node
+        self.cap = cap
         self.points: List[Tuple[float, float]] = []
 
     def record(self, time: float, value: float) -> None:
@@ -253,6 +279,14 @@ class Timeline:
                 points[-1] = (time, value)
                 return
         points.append((time, value))
+        if self.cap is not None and len(points) >= self.cap:
+            # Halve by dropping every other interior point; keep the
+            # first point (the step function's origin) and the newest
+            # (so ``last_value`` and the backwards-time guard stay exact).
+            last = points[-1]
+            del points[1::2]
+            if points[-1] != last:
+                points.append(last)
 
     @property
     def last_value(self) -> float:
